@@ -1,0 +1,45 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section.  Heavy sweeps run once (``benchmark.pedantic`` with
+a single round) and print their reproduced rows; each bench also writes
+a CSV artifact under ``benchmarks/results/`` that EXPERIMENTS.md indexes.
+
+Workload scaling: sweeps whose cost is dominated by cycle-accurate DRAM
+or trace generation run on ``scale``-reduced models.  The *shape* of
+each result (orderings, crossovers, scaling trends) is what the paper
+reproduction asserts; headers note the scale used.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory for reproduced-table CSV artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit_table(title: str, header: list[str], rows: list[list[object]], path: Path) -> None:
+    """Print a reproduced table and persist it as CSV."""
+    from repro.utils.csvio import write_csv
+
+    write_csv(path, header, rows)
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print(f"[written to {path}]")

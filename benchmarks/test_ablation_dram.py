@@ -1,0 +1,65 @@
+"""Ablation: DRAM technology and address-mapping design choices.
+
+Not a paper figure — DESIGN.md calls for ablations of the design knobs
+the reproduction exposes.  Two questions:
+
+* how much does the memory *technology* (at fixed channel count) move
+  end-to-end latency for a conv workload?
+* how much does the address-mapping order matter?  Channel-interleaved
+  lines (``ro_ba_ra_co_ch``) should beat a column-major order
+  (``ro_ba_ra_ch_co``) that serialises a stream onto one channel.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.topology.models import resnet18
+
+SCALE = 8
+TOPOLOGY = resnet18(scale=SCALE).first_layers(8)
+ARCH = ArchitectureConfig(array_rows=32, array_cols=32, dataflow="ws",
+                          ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=64)
+
+
+def _total(dram: DramConfig) -> int:
+    return Simulator(SystemConfig(arch=ARCH, dram=dram)).run(TOPOLOGY).total_cycles
+
+
+def _sweep():
+    technologies = ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm2")
+    tech_rows = [
+        [tech, _total(DramConfig(enabled=True, technology=tech, channels=2))]
+        for tech in technologies
+    ]
+    mapping_rows = [
+        [mapping, _total(DramConfig(enabled=True, channels=4, address_mapping=mapping))]
+        for mapping in ("ro_ba_ra_co_ch", "ro_ba_ra_ch_co", "ro_co_ra_ba_ch")
+    ]
+    return tech_rows, mapping_rows
+
+
+def test_ablation_dram_choices(benchmark, results_dir):
+    tech_rows, mapping_rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit_table(
+        f"Ablation — DRAM technology (2 channels, ResNet-18 / {SCALE}x scale)",
+        ["technology", "total_cycles"],
+        tech_rows,
+        results_dir / "ablation_dram_technology.csv",
+    )
+    emit_table(
+        "Ablation — address mapping (4 channels)",
+        ["mapping", "total_cycles"],
+        mapping_rows,
+        results_dir / "ablation_address_mapping.csv",
+    )
+
+    totals = dict((row[0], row[1]) for row in tech_rows)
+    # Wider/faster buses beat DDR3 for a streaming accelerator.
+    assert totals["gddr5"] <= totals["ddr3"]
+    assert totals["hbm2"] <= totals["ddr3"]
+
+    mapping_totals = dict((row[0], row[1]) for row in mapping_rows)
+    # Channel-interleaved lines are never worse than channel-major order.
+    assert mapping_totals["ro_ba_ra_co_ch"] <= mapping_totals["ro_ba_ra_ch_co"] * 1.02

@@ -1,0 +1,86 @@
+"""Figure 8: compute cycles for ViT feed-forward layers under varying
+array sizes, sparsity ratios and block sizes.
+
+Two run sets, as in the paper:
+
+* set 1 — array sizes 4x4 .. 32x32 with the block size tied to the
+  array dimension (ratios 1:M .. M:M),
+* set 2 — fixed 32x32 array with block sizes M in {4, 8, 16, 32}
+  (ratios 1:M .. M:M each).
+
+Reproduced claims: cycles grow with N at fixed M; larger block sizes
+give finer-grained control, and the low end of the N:M spectrum with a
+large M performs best.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.sparsity.pattern import layerwise_pattern
+from repro.sparsity.sparse_compute import SparseComputeSimulator
+from repro.topology.layer import SparsityRatio
+from repro.topology.models import vit_ff_layers
+
+SCALE = 2
+
+
+def _cycles(array: int, n: int, m: int) -> int:
+    sim = SparseComputeSimulator(array, array)
+    total = 0
+    for layer in vit_ff_layers(scale=SCALE):
+        shape = layer.to_gemm()
+        pattern = layerwise_pattern(shape.m, shape.k, SparsityRatio(n, m))
+        total += sim.simulate_layer(
+            layer, pattern=pattern, with_fold_specs=False
+        ).sparse_compute_cycles
+    return total
+
+
+def _set1():
+    rows = []
+    for array in (4, 8, 16, 32):
+        m = array  # block tied to array dimension
+        for n in range(1, m + 1):
+            rows.append([f"{array}x{array}", f"{n}:{m}", _cycles(array, n, m)])
+    return rows
+
+
+def _set2():
+    rows = []
+    for m in (4, 8, 16, 32):
+        for n in range(1, m + 1):
+            rows.append(["32x32", f"{n}:{m}", _cycles(32, n, m)])
+    return rows
+
+
+def test_fig8_set1_array_tied_blocks(benchmark, results_dir):
+    rows = benchmark.pedantic(_set1, rounds=1, iterations=1)
+    emit_table(
+        f"Figure 8 (set 1) — ViT FF cycles, block == array dim ({SCALE}x scale)",
+        ["array", "N:M", "cycles"],
+        rows,
+        results_dir / "fig08_set1_block_size.csv",
+    )
+    # Within one array size, cycles are non-decreasing in N.
+    by_array: dict[str, list[int]] = {}
+    for array, _, cycles in rows:
+        by_array.setdefault(array, []).append(cycles)
+    for series in by_array.values():
+        assert all(a <= b for a, b in zip(series, series[1:]))
+
+
+def test_fig8_set2_fixed_array(benchmark, results_dir):
+    rows = benchmark.pedantic(_set2, rounds=1, iterations=1)
+    emit_table(
+        f"Figure 8 (set 2) — ViT FF cycles on 32x32, block sizes 4..32 ({SCALE}x scale)",
+        ["array", "N:M", "cycles"],
+        rows,
+        results_dir / "fig08_set2_block_size.csv",
+    )
+    cycles = {(nm): c for _, nm, c in rows}
+    # Finer-grained control: 1:32 expresses lower density than 1:4 and
+    # therefore fewer cycles.
+    assert cycles["1:32"] < cycles["1:4"]
+    # Equal densities land close to each other (same effective K).
+    assert cycles["2:8"] == cycles["1:4"]
+    assert cycles["8:32"] == cycles["2:8"]

@@ -1,0 +1,85 @@
+"""Figure 10: impact of memory request-queue size on inference latency.
+
+Workloads run with read/write request queues of 32, 128 and 512 entries.
+Reproduced claims:
+
+* stall fraction and total cycles drop as the queue grows,
+* the 32 -> 128 step brings a large total-cycle improvement (the paper's
+  average is 3.76x) with a further improvement from 128 -> 512.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.topology.models import get_model
+
+QUEUES = (32, 128, 512)
+WORKLOADS = (("alexnet", 4), ("resnet18", 4), ("vit_s", 2), ("vit_base", 2))
+
+
+def _run(workload: str, scale: int, queue: int):
+    # A memory-hungry configuration (wide array, small SRAM, 8 channels,
+    # 16-wide issue) so the request queue actually caps the in-flight
+    # parallelism; see EXPERIMENTS.md for why the magnitude is smaller
+    # than the paper's demand-replay accounting.
+    cfg = SystemConfig(
+        arch=ArchitectureConfig(array_rows=128, array_cols=128, dataflow="ws",
+                                ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=64),
+        dram=DramConfig(
+            enabled=True,
+            technology="ddr4",
+            channels=8,
+            read_queue_entries=queue,
+            write_queue_entries=queue,
+            issue_per_cycle=16,
+        ),
+    )
+    result = Simulator(cfg).run(get_model(workload, scale=scale))
+    stall = result.total_stall_cycles
+    total = result.total_cycles
+    return total, stall / total if total else 0.0
+
+
+def _sweep():
+    table = {}
+    for workload, scale in WORKLOADS:
+        table[workload] = [_run(workload, scale, q) for q in QUEUES]
+    return table
+
+
+def test_fig10_queue_sweep(benchmark, results_dir):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for workload, series in table.items():
+        row = [workload]
+        for total, frac in series:
+            row.extend([total, f"{frac * 100:.1f}%"])
+        rows.append(row)
+    emit_table(
+        "Figure 10 — total cycles and stall fraction vs request-queue size",
+        ["workload", "cyc@32", "stall@32", "cyc@128", "stall@128", "cyc@512", "stall@512"],
+        rows,
+        results_dir / "fig10_request_queues.csv",
+    )
+
+    improvements_32_128 = []
+    improvements_128_512 = []
+    for workload, series in table.items():
+        totals = [t for t, _ in series]
+        fracs = [f for _, f in series]
+        # Larger queues never slow things down.
+        assert totals[0] >= totals[1] >= totals[2], workload
+        assert fracs[0] >= fracs[2], workload
+        improvements_32_128.append(totals[0] / totals[1])
+        improvements_128_512.append(totals[1] / totals[2])
+
+    mean_first = sum(improvements_32_128) / len(improvements_32_128)
+    mean_second = sum(improvements_128_512) / len(improvements_128_512)
+    print(f"mean total-cycle improvement 32->128: {mean_first:.2f}x (paper: 3.76x)")
+    print(f"mean total-cycle improvement 128->512: {mean_second:.2f}x (paper: +38%)")
+    # Shape: bigger queues help (strictly somewhere), first step biggest.
+    assert mean_first >= 1.0 and mean_second >= 1.0 - 1e-9
+    assert any(r > 1.0 for r in improvements_32_128)
+    assert mean_first >= mean_second - 1e-9

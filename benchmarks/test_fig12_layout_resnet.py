@@ -1,0 +1,57 @@
+"""Figure 12: layout slowdown vs (bandwidth, banks) — ResNet-18.
+
+Three dataflows, on-chip bandwidths {64..1024} words/cycle, bank counts
+{1..16} at fixed total bandwidth.  Slowdown is the layout-modelled
+latency over SCALE-Sim v2's flat-bandwidth latency, minus one.
+Reproduced claim (the paper's key observation): at a given bandwidth,
+more banks consistently reduce the slowdown.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.layout.integrate import evaluate_layout_slowdown
+from repro.topology.models import resnet18
+
+BANDWIDTHS = (64, 128, 256, 512, 1024)
+BANKS = (1, 2, 4, 8, 16)
+ARRAY = 32  # paper uses 128x128; 32x32 keeps the trace tractable
+SCALE = 8
+MAX_FOLDS = 3
+
+
+def _sweep():
+    layer = resnet18(scale=SCALE).layer_named("conv2_1a")
+    table = {}
+    for dataflow in ("is", "ws", "os"):
+        for bw in BANDWIDTHS:
+            for banks in BANKS:
+                result = evaluate_layout_slowdown(
+                    layer, dataflow, ARRAY, ARRAY, banks, bw, max_folds=MAX_FOLDS
+                )
+                table[(dataflow, bw, banks)] = result.slowdown
+    return table
+
+
+def test_fig12_layout_resnet(benchmark, results_dir):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [df, bw, banks, f"{slow:+.4f}"] for (df, bw, banks), slow in table.items()
+    ]
+    emit_table(
+        f"Figure 12 — layout slowdown vs BW model (ResNet-18 / {SCALE}x scale, {ARRAY}x{ARRAY})",
+        ["dataflow", "bandwidth", "banks", "slowdown"],
+        rows,
+        results_dir / "fig12_layout_resnet.csv",
+    )
+
+    # More banks at fixed bandwidth: slowdown non-increasing end-to-end.
+    for dataflow in ("is", "ws", "os"):
+        for bw in BANDWIDTHS:
+            assert table[(dataflow, bw, 1)] >= table[(dataflow, bw, 16)] - 1e-9, (
+                dataflow,
+                bw,
+            )
+
+    # The single-bank configuration shows real conflicts somewhere.
+    assert max(table[(df, 64, 1)] for df in ("is", "ws", "os")) > 0

@@ -1,0 +1,76 @@
+"""Figure 15: energy across dataflows, array sizes and workloads.
+
+RCNN, ResNet-50 and ViT on arrays {8, 16, 32, 64, 128} squared under the
+OS, WS and IS dataflows.  Reproduced claims:
+
+* OS consumes the least energy in (almost) every case — it writes each
+  output once and keeps partial sums in the PE,
+* within a workload, energy grows with array size (leakage + idle-PE
+  cost outpace the latency gain).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.energy.accelergy import AccelergyLite
+from repro.topology.models import get_model
+
+ARRAYS = (8, 16, 32, 64, 128)
+DATAFLOWS = ("os", "ws", "is")
+WORKLOADS = (("rcnn", 8), ("resnet50", 8), ("vit_base", 4))
+
+
+def _energy_mj(workload: str, scale: int, dataflow: str, array: int) -> float:
+    arch = ArchitectureConfig(
+        array_rows=array, array_cols=array, dataflow=dataflow, bandwidth_words=200
+    )
+    energy = EnergyConfig(enabled=True)
+    run = Simulator(SystemConfig(arch=arch, energy=energy)).run(
+        get_model(workload, scale=scale)
+    )
+    return AccelergyLite(arch, energy).estimate_run(run).total_mj
+
+
+def _sweep():
+    table = {}
+    for workload, scale in WORKLOADS:
+        for dataflow in DATAFLOWS:
+            for array in ARRAYS:
+                table[(workload, dataflow, array)] = _energy_mj(
+                    workload, scale, dataflow, array
+                )
+    return table
+
+
+def test_fig15_energy(benchmark, results_dir):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [wl, df, array, f"{mj:.3f}"] for (wl, df, array), mj in table.items()
+    ]
+    emit_table(
+        "Figure 15 — energy (mJ) per workload x dataflow x array (scaled models)",
+        ["workload", "dataflow", "array", "energy_mJ"],
+        rows,
+        results_dir / "fig15_energy_dataflow.csv",
+    )
+
+    # OS wins or ties in almost every (workload, array) case.
+    cases = 0
+    os_wins = 0
+    for workload, _ in WORKLOADS:
+        for array in ARRAYS:
+            cases += 1
+            energies = {df: table[(workload, df, array)] for df in DATAFLOWS}
+            if energies["os"] <= min(energies.values()) * 1.02:
+                os_wins += 1
+    print(f"OS best-or-tied in {os_wins}/{cases} cases")
+    assert os_wins >= cases * 0.8
+
+    # Energy grows from the smallest to the largest array per workload.
+    for workload, _ in WORKLOADS:
+        for dataflow in DATAFLOWS:
+            assert (
+                table[(workload, dataflow, 128)] > table[(workload, dataflow, 8)]
+            ), (workload, dataflow)

@@ -1,0 +1,80 @@
+"""Table V: latency, energy and EdP for 32x32 / 64x64 / 128x128 arrays.
+
+ResNet-50, RCNN and ViT-base under the weight-stationary dataflow.
+Reproduced claims (paper headline):
+
+* the 128x128 array is several-x faster than 32x32 on ViT-base (6.53x
+  in the paper),
+* the 32x32 array is the most energy-frugal (2.86x in the paper),
+* EdP improves sharply from 32x32 and flattens between 64x64 and
+  128x128 (the paper's 64-vs-128 margin is 0.8%).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.energy.accelergy import AccelergyLite
+from repro.topology.models import get_model
+
+ARRAYS = (32, 64, 128)
+WORKLOADS = (("resnet50", 4), ("rcnn", 4), ("vit_base", 1))
+
+
+def _point(workload: str, scale: int, array: int):
+    arch = ArchitectureConfig(
+        array_rows=array,
+        array_cols=array,
+        dataflow="ws",
+        ifmap_sram_kb=1024,
+        filter_sram_kb=1024,
+        ofmap_sram_kb=1024,
+        bandwidth_words=100,
+    )
+    energy = EnergyConfig(enabled=True)
+    run = Simulator(SystemConfig(arch=arch, energy=energy)).run(
+        get_model(workload, scale=scale)
+    )
+    report = AccelergyLite(arch, energy).estimate_run(run)
+    latency_per_layer = run.total_cycles / len(run.layers)
+    return latency_per_layer, report.total_mj, latency_per_layer * report.total_mj
+
+
+def _sweep():
+    return {
+        (workload, array): _point(workload, scale, array)
+        for workload, scale in WORKLOADS
+        for array in ARRAYS
+    }
+
+
+def test_tab5_latency_energy_edp(benchmark, results_dir):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for (workload, array), (latency, energy, edp) in table.items():
+        rows.append([workload, array, f"{latency:.0f}", f"{energy:.2f}", f"{edp:.1f}"])
+    emit_table(
+        "Table V — latency (cycles/layer), energy (mJ), EdP (cycles x mJ / layer)",
+        ["workload", "array", "latency", "energy_mJ", "EdP"],
+        rows,
+        results_dir / "tab05_latency_energy_edp.csv",
+    )
+
+    for workload, _ in WORKLOADS:
+        lat = {a: table[(workload, a)][0] for a in ARRAYS}
+        mj = {a: table[(workload, a)][1] for a in ARRAYS}
+        edp = {a: table[(workload, a)][2] for a in ARRAYS}
+        # Latency strictly improves with array size.
+        assert lat[32] > lat[64] > lat[128], workload
+        # The smallest array is the most energy-frugal.
+        assert mj[32] <= mj[64] and mj[32] < mj[128], workload
+        # EdP improves sharply beyond 32x32.
+        assert min(edp[64], edp[128]) < edp[32], workload
+
+    vit_speedup = table[("vit_base", 32)][0] / table[("vit_base", 128)][0]
+    vit_energy_ratio = table[("vit_base", 128)][1] / table[("vit_base", 32)][1]
+    print(f"ViT-base: 128x128 speedup over 32x32 = {vit_speedup:.2f}x (paper 6.53x)")
+    print(f"ViT-base: 32x32 energy advantage     = {vit_energy_ratio:.2f}x (paper 2.86x)")
+    assert vit_speedup > 4
+    assert vit_energy_ratio > 1.2

@@ -1,0 +1,82 @@
+"""Table VI: WS vs IS, single 128x128 core vs 16 cores of 32x32.
+
+Iso-compute comparison on ViT-base.  Reproduced claims:
+
+* the WS/IS latency contrast is large on the single core (paper 1.87x)
+  and much smaller on the multi-core grid (paper 1.14x),
+* the WS/IS energy ratio stays ~constant across the two designs (paper
+  0.71 vs 0.70) — energy follows action counts, not the partitioning.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_table
+from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.energy.accelergy import AccelergyLite
+from repro.multicore.multicore_sim import MultiCoreSimulator
+from repro.topology.models import vit_base
+
+TOPOLOGY = vit_base(scale=1, blocks=1)
+
+
+def _single_core(dataflow: str):
+    arch = ArchitectureConfig(
+        array_rows=128, array_cols=128, dataflow=dataflow,
+        ifmap_sram_kb=1024, filter_sram_kb=1024, ofmap_sram_kb=1024,
+        bandwidth_words=200,
+    )
+    energy = EnergyConfig(enabled=True)
+    run = Simulator(SystemConfig(arch=arch, energy=energy)).run(TOPOLOGY)
+    report = AccelergyLite(arch, energy).estimate_run(run)
+    return run.total_cycles, report.total_mj
+
+
+def _multi_core(dataflow: str):
+    grid = MultiCoreSimulator.homogeneous(4, 4, 32, 32, dataflow)
+    latency = grid.total_latency(TOPOLOGY)
+    # Energy: 16 cores' action counts approximated by 16 single-core
+    # sub-problems on the per-core 32x32 ERT.
+    arch = ArchitectureConfig(array_rows=32, array_cols=32, dataflow=dataflow,
+                              bandwidth_words=200)
+    energy = EnergyConfig(enabled=True)
+    engine = AccelergyLite(arch, energy)
+    total_mj = 0.0
+    for result in grid.simulate_topology(TOPOLOGY):
+        for core in result.cores:
+            # Leakage over the core's busy window + dynamic via MACs.
+            cycles = core.compute_cycles
+            total_mj += engine.ert.total_leakage_pj(cycles) * 1e-9
+            total_mj += engine.ert.energy_pj("mac", "mac_random", core.compute.macs) * 1e-9
+            idle = max(0, 32 * 32 * cycles - core.compute.macs)
+            total_mj += engine.ert.energy_pj("mac", "mac_constant", idle) * 1e-9
+    return latency, total_mj
+
+
+def _compare():
+    single = {df: _single_core(df) for df in ("ws", "is")}
+    multi = {df: _multi_core(df) for df in ("ws", "is")}
+    return single, multi
+
+
+def test_tab6_multicore_dataflow(benchmark, results_dir):
+    single, multi = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    lat_ratio_single = single["ws"][0] / single["is"][0]
+    lat_ratio_multi = multi["ws"][0] / multi["is"][0]
+    eng_ratio_single = single["ws"][1] / single["is"][1]
+    eng_ratio_multi = multi["ws"][1] / multi["is"][1]
+    rows = [
+        ["latency ws/is", f"{lat_ratio_single:.2f}", f"{lat_ratio_multi:.2f}"],
+        ["energy ws/is", f"{eng_ratio_single:.2f}", f"{eng_ratio_multi:.2f}"],
+    ]
+    emit_table(
+        "Table VI — WS/IS ratios: single 128x128 vs 16 x 32x32 (ViT-base)",
+        ["ratio", "single_core", "16_cores"],
+        rows,
+        results_dir / "tab06_multicore_dataflow.csv",
+    )
+
+    # The dataflow latency contrast shrinks on the multi-core design.
+    assert abs(lat_ratio_multi - 1) < abs(lat_ratio_single - 1)
+    # Energy ratios stay close across designs (paper: 0.71 vs 0.70).
+    assert abs(eng_ratio_single - eng_ratio_multi) < 0.3

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed wheel.
+
+The environment used for reproduction has no network access, so
+``pip install -e .`` cannot fetch the ``wheel`` build dependency.  This
+shim keeps ``pytest tests/`` and ``pytest benchmarks/`` working from a
+plain checkout; with a proper editable install it is a harmless no-op.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

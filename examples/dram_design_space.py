@@ -1,0 +1,69 @@
+"""Design-space walk over the main-memory subsystem (paper Section V).
+
+Sweeps DRAM technology, channel count and request-queue depth for a
+ResNet-18 slice and prints how stalls and row-buffer locality respond —
+the kind of exploration SCALE-Sim v2's fixed-latency memory could not
+support.
+
+Run with::
+
+    python examples/dram_design_space.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.topology.models import resnet18
+
+SCALE = 8
+TOPOLOGY = resnet18(scale=SCALE).first_layers(8)
+ARCH = ArchitectureConfig(array_rows=32, array_cols=32, dataflow="ws")
+
+
+def run(dram: DramConfig):
+    result = Simulator(SystemConfig(arch=ARCH, dram=dram)).run(TOPOLOGY)
+    stats = result.dram_stats
+    return result.total_cycles, result.total_stall_cycles, stats
+
+
+def main() -> None:
+    print(f"ResNet-18 first 8 layers ({SCALE}x scale) on a 32x32 WS array\n")
+
+    print("-- DRAM technology sweep (1 channel, 128-entry queues) --")
+    print(f"{'tech':8s}{'total cycles':>14s}{'stalls':>12s}{'row hits':>10s}{'avg lat':>9s}")
+    for tech in ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm2"):
+        total, stalls, stats = run(DramConfig(enabled=True, technology=tech))
+        print(
+            f"{tech:8s}{total:>14,}{stalls:>12,}{stats.row_hit_rate:>10.1%}"
+            f"{stats.average_read_latency:>9.1f}"
+        )
+
+    print("\n-- channel sweep (DDR4) --")
+    print(f"{'channels':>8s}{'total cycles':>14s}{'throughput GB/s':>17s}")
+    for channels in (1, 2, 4, 8):
+        total, _, stats = run(DramConfig(enabled=True, technology="ddr4", channels=channels))
+        print(f"{channels:>8d}{total:>14,}{stats.throughput_gbps(0.833):>17.2f}")
+
+    print("\n-- request-queue sweep (DDR4, 1 channel) --")
+    print(f"{'entries':>8s}{'total cycles':>14s}{'stall frac':>12s}")
+    for queue in (16, 32, 128, 512):
+        total, stalls, _ = run(
+            DramConfig(
+                enabled=True, technology="ddr4",
+                read_queue_entries=queue, write_queue_entries=queue,
+            )
+        )
+        print(f"{queue:>8d}{total:>14,}{stalls / total:>12.1%}")
+
+    print("\nObservations (matching the paper's Figures 9 and 10):")
+    print(" * channel count lifts throughput for the streaming conv layers,")
+    print(" * queue depth 32 -> 128 removes most backpressure stalls,")
+    print(" * faster technologies shave round-trip latency, not stalls.")
+
+
+if __name__ == "__main__":
+    main()

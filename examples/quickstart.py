@@ -1,0 +1,58 @@
+"""Quickstart: simulate a CNN on a TPU-like accelerator in ~20 lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the three things every user does first: pick a preset, run a
+built-in topology, and read the headline numbers + CSV reports.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro import Simulator, get_model, get_preset
+
+
+def main() -> None:
+    # 1. A named architecture preset (128x128 WS array, DDR4-2400,
+    #    128-entry request queues — the paper's Section V-C setup).
+    config = get_preset("google_tpu_v2")
+
+    # 2. A built-in workload; `scale=8` shrinks the spatial dims so the
+    #    cycle-accurate DRAM simulation finishes in seconds.
+    topology = get_model("resnet18", scale=8)
+
+    # 3. Simulate.
+    result = Simulator(config).run(topology)
+
+    print(f"workload:        {result.topology_name} ({len(result.layers)} layers)")
+    print(f"compute cycles:  {result.total_compute_cycles:,}")
+    print(f"stall cycles:    {result.total_stall_cycles:,}")
+    print(f"total cycles:    {result.total_cycles:,}")
+    print(f"total MACs:      {result.total_macs:,}")
+
+    stats = result.dram_stats
+    print(f"DRAM requests:   {stats.requests:,} (row-hit rate {stats.row_hit_rate:.1%})")
+    print(f"avg read latency {stats.average_read_latency:.1f} cycles")
+
+    print("\nper-layer breakdown (first 5):")
+    for layer in result.layers[:5]:
+        print(
+            f"  {layer.layer_name:10s} compute={layer.compute_cycles:>9,}"
+            f" total={layer.total_cycles:>9,}"
+            f" stall={layer.stall_fraction:6.1%}"
+            f" util={layer.compute.compute_utilization:6.1%}"
+        )
+
+    # 4. Write the classic SCALE-Sim CSV reports.
+    paths = result.write_reports("outputs")
+    print("\nreports:")
+    for path in paths:
+        print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

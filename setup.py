@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable wheels; with ``--no-use-pep517 --no-build-isolation`` (or the
+equivalent pip.conf) this shim lets ``pip install -e .`` take the
+classic ``setup.py develop`` path.  Metadata comes from pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

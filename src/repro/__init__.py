@@ -1,0 +1,39 @@
+"""SCALE-Sim v3 reproduction: a modular cycle-accurate systolic simulator.
+
+Public API quick tour::
+
+    from repro import Simulator, get_preset, get_model
+
+    config = get_preset("google_tpu_v2")
+    result = Simulator(config).run(get_model("resnet18", scale=8))
+    print(result.total_cycles, result.total_stall_cycles)
+
+Feature packages:
+
+* :mod:`repro.core`      — cycle-accurate systolic compute model.
+* :mod:`repro.memory`    — double-buffered scratchpads, request queues.
+* :mod:`repro.dram`      — RamulatorLite DRAM model.
+* :mod:`repro.multicore` — spatio-temporal partitioning, shared L2.
+* :mod:`repro.sparsity`  — N:M sparse GEMM support.
+* :mod:`repro.layout`    — multi-bank data-layout / bank-conflict model.
+* :mod:`repro.energy`    — AccelergyLite energy and power estimation.
+"""
+
+from repro.config import SystemConfig, get_preset, load_config
+from repro.core import Dataflow, Simulator
+from repro.topology import ConvLayer, GemmLayer, Topology, get_model
+
+__version__ = "3.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "get_preset",
+    "load_config",
+    "Dataflow",
+    "Simulator",
+    "ConvLayer",
+    "GemmLayer",
+    "Topology",
+    "get_model",
+    "__version__",
+]

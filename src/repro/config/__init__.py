@@ -1,0 +1,29 @@
+"""System configuration: dataclasses, .cfg parsing, and named presets."""
+
+from repro.config.system import (
+    ArchitectureConfig,
+    DramConfig,
+    EnergyConfig,
+    LayoutConfig,
+    MulticoreConfig,
+    RunConfig,
+    SparsityConfig,
+    SystemConfig,
+)
+from repro.config.parser import load_config, parse_config_text
+from repro.config.presets import available_presets, get_preset
+
+__all__ = [
+    "ArchitectureConfig",
+    "DramConfig",
+    "EnergyConfig",
+    "LayoutConfig",
+    "MulticoreConfig",
+    "RunConfig",
+    "SparsityConfig",
+    "SystemConfig",
+    "load_config",
+    "parse_config_text",
+    "available_presets",
+    "get_preset",
+]

@@ -1,0 +1,243 @@
+"""Parse SCALE-Sim style ``.cfg`` files into :class:`SystemConfig`.
+
+The file format follows SCALE-Sim's INI-like convention::
+
+    [general]
+    run_name = tpu_like
+
+    [architecture_presets]
+    ArrayHeight = 32
+    ArrayWidth = 32
+    IfmapSramSzkB = 256
+    ...
+
+    [sparsity]
+    SparsitySupport = true
+    OptimizedMapping = false
+    SparseRep = ellpack_block
+    BlockSize = 4
+
+v3's new sections (``sparsity``, ``memory``, ``layout``, ``energy``,
+``multicore``) are all optional; omitting a section leaves the feature at
+its defaults (usually disabled), matching the paper's modular design.
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+
+from repro.config.system import (
+    ArchitectureConfig,
+    DramConfig,
+    EnergyConfig,
+    LayoutConfig,
+    MulticoreConfig,
+    RunConfig,
+    SparsityConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigError
+
+_TRUE_VALUES = {"true", "yes", "on", "1"}
+_FALSE_VALUES = {"false", "no", "off", "0"}
+
+
+def _parse_bool(raw: str, key: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in _TRUE_VALUES:
+        return True
+    if lowered in _FALSE_VALUES:
+        return False
+    raise ConfigError(f"{key}: expected a boolean, got {raw!r}")
+
+
+def _parse_int(raw: str, key: str) -> int:
+    try:
+        return int(raw.strip())
+    except ValueError as exc:
+        raise ConfigError(f"{key}: expected an integer, got {raw!r}") from exc
+
+
+def _parse_float(raw: str, key: str) -> float:
+    try:
+        return float(raw.strip())
+    except ValueError as exc:
+        raise ConfigError(f"{key}: expected a number, got {raw!r}") from exc
+
+
+class _Section:
+    """Case-insensitive view over one cfg section with typed getters."""
+
+    def __init__(self, name: str, raw: dict[str, str]) -> None:
+        self.name = name
+        self._raw = {key.lower(): value for key, value in raw.items()}
+        self._seen: set[str] = set()
+
+    def get_str(self, key: str, default: str) -> str:
+        self._seen.add(key.lower())
+        return self._raw.get(key.lower(), default).strip()
+
+    def get_int(self, key: str, default: int) -> int:
+        self._seen.add(key.lower())
+        raw = self._raw.get(key.lower())
+        return default if raw is None else _parse_int(raw, f"[{self.name}] {key}")
+
+    def get_float(self, key: str, default: float) -> float:
+        self._seen.add(key.lower())
+        raw = self._raw.get(key.lower())
+        return default if raw is None else _parse_float(raw, f"[{self.name}] {key}")
+
+    def get_bool(self, key: str, default: bool) -> bool:
+        self._seen.add(key.lower())
+        raw = self._raw.get(key.lower())
+        return default if raw is None else _parse_bool(raw, f"[{self.name}] {key}")
+
+    def get_int_tuple(self, key: str, default: tuple[int, ...]) -> tuple[int, ...]:
+        self._seen.add(key.lower())
+        raw = self._raw.get(key.lower())
+        if raw is None or not raw.strip():
+            return default
+        try:
+            return tuple(int(part.strip()) for part in raw.split(",") if part.strip())
+        except ValueError as exc:
+            raise ConfigError(
+                f"[{self.name}] {key}: expected comma-separated integers, got {raw!r}"
+            ) from exc
+
+    def reject_unknown_keys(self) -> None:
+        unknown = set(self._raw) - self._seen
+        if unknown:
+            raise ConfigError(
+                f"unknown keys in section [{self.name}]: {sorted(unknown)}"
+            )
+
+
+def parse_config_text(text: str) -> SystemConfig:
+    """Parse ``.cfg`` content into a validated :class:`SystemConfig`."""
+    parser = configparser.ConfigParser()
+    try:
+        parser.read_string(text)
+    except configparser.Error as exc:
+        raise ConfigError(f"malformed config file: {exc}") from exc
+
+    known_sections = {
+        "general",
+        "architecture_presets",
+        "sparsity",
+        "memory",
+        "layout",
+        "energy",
+        "multicore",
+        "run_presets",
+    }
+    for section in parser.sections():
+        if section.lower() not in known_sections:
+            raise ConfigError(f"unknown config section [{section}]")
+
+    def section(name: str) -> _Section:
+        for candidate in parser.sections():
+            if candidate.lower() == name:
+                return _Section(name, dict(parser.items(candidate)))
+        return _Section(name, {})
+
+    general = section("general")
+    run = RunConfig(
+        run_name=general.get_str("run_name", "scale_sim_v3_repro"),
+        output_dir=general.get_str("output_dir", "outputs"),
+    )
+    general.reject_unknown_keys()
+
+    arch_sec = section("architecture_presets")
+    arch = ArchitectureConfig(
+        array_rows=arch_sec.get_int("ArrayHeight", 32),
+        array_cols=arch_sec.get_int("ArrayWidth", 32),
+        ifmap_sram_kb=arch_sec.get_int("IfmapSramSzkB", 256),
+        filter_sram_kb=arch_sec.get_int("FilterSramSzkB", 256),
+        ofmap_sram_kb=arch_sec.get_int("OfmapSramSzkB", 256),
+        dataflow=arch_sec.get_str("Dataflow", "os").lower(),
+        bandwidth_words=arch_sec.get_int("Bandwidth", 10),
+        word_bytes=arch_sec.get_int("WordBytes", 2),
+        simd_lanes=arch_sec.get_int("SimdLanes", 0),
+        simd_latency_per_element=arch_sec.get_float("SimdLatencyPerElement", 1.0),
+    )
+    arch_sec.reject_unknown_keys()
+
+    sp_sec = section("sparsity")
+    sparsity = SparsityConfig(
+        sparsity_support=sp_sec.get_bool("SparsitySupport", False),
+        optimized_mapping=sp_sec.get_bool("OptimizedMapping", False),
+        sparse_representation=sp_sec.get_str("SparseRep", "ellpack_block").lower(),
+        block_size=sp_sec.get_int("BlockSize", 4),
+        random_seed=sp_sec.get_int("RandomSeed", 7),
+    )
+    sp_sec.reject_unknown_keys()
+
+    mem_sec = section("memory")
+    dram = DramConfig(
+        enabled=mem_sec.get_bool("Enabled", False),
+        technology=mem_sec.get_str("Technology", "ddr4").lower(),
+        channels=mem_sec.get_int("Channels", 1),
+        ranks_per_channel=mem_sec.get_int("RanksPerChannel", 1),
+        banks_per_rank=mem_sec.get_int("BanksPerRank", 16),
+        capacity_gb_per_channel=mem_sec.get_float("CapacityGBPerChannel", 0.5),
+        speed_mts=mem_sec.get_int("SpeedMTs", 2400),
+        read_queue_entries=mem_sec.get_int("ReadQueueEntries", 128),
+        write_queue_entries=mem_sec.get_int("WriteQueueEntries", 128),
+        address_mapping=mem_sec.get_str("AddressMapping", "ro_ba_ra_co_ch").lower(),
+        issue_per_cycle=mem_sec.get_int("IssuePerCycle", 4),
+    )
+    mem_sec.reject_unknown_keys()
+
+    layout_sec = section("layout")
+    layout = LayoutConfig(
+        enabled=layout_sec.get_bool("Enabled", False),
+        num_banks=layout_sec.get_int("NumBanks", 4),
+        ports_per_bank=layout_sec.get_int("PortsPerBank", 1),
+        bandwidth_per_bank_words=layout_sec.get_int("BandwidthPerBank", 16),
+        c1_step=layout_sec.get_int("C1Step", 16),
+        h1_step=layout_sec.get_int("H1Step", 4),
+        w1_step=layout_sec.get_int("W1Step", 2),
+    )
+    layout_sec.reject_unknown_keys()
+
+    energy_sec = section("energy")
+    energy = EnergyConfig(
+        enabled=energy_sec.get_bool("Enabled", False),
+        technology_nm=energy_sec.get_int("TechnologyNm", 65),
+        row_size_words=energy_sec.get_int("RowSize", 16),
+        bank_rows=energy_sec.get_int("BankSize", 4),
+        clock_ghz=energy_sec.get_float("ClockGHz", 1.0),
+        clock_gating=energy_sec.get_bool("ClockGating", True),
+    )
+    energy_sec.reject_unknown_keys()
+
+    mc_sec = section("multicore")
+    multicore = MulticoreConfig(
+        enabled=mc_sec.get_bool("Enabled", False),
+        partitions_row=mc_sec.get_int("PartitionsRow", 1),
+        partitions_col=mc_sec.get_int("PartitionsCol", 1),
+        partition_scheme=mc_sec.get_str("PartitionScheme", "spatial").lower(),
+        l2_sram_kb=mc_sec.get_int("L2SramSzkB", 2048),
+        nop_hops=mc_sec.get_int_tuple("NopHops", ()),
+        nop_latency_per_hop=mc_sec.get_int("NopLatencyPerHop", 1),
+    )
+    mc_sec.reject_unknown_keys()
+
+    return SystemConfig(
+        arch=arch,
+        sparsity=sparsity,
+        dram=dram,
+        layout=layout,
+        energy=energy,
+        multicore=multicore,
+        run=run,
+    )
+
+
+def load_config(path: str | Path) -> SystemConfig:
+    """Read a ``.cfg`` file from disk and parse it."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"config file not found: {path}")
+    return parse_config_text(path.read_text())

@@ -1,0 +1,397 @@
+"""Aggregate per-layer compute simulation (no trace materialisation).
+
+:class:`ComputeSimulator` evaluates one layer on one array and returns a
+:class:`LayerComputeResult` holding
+
+* the exact Eq.-1 runtime and its fold decomposition,
+* mapping efficiency and compute utilisation,
+* exact SRAM access counts (derived in closed form from the per-fold
+  port activity — identical to summing the demand traces), and
+* a lazy stream of :class:`FoldSpec` records describing what each fold
+  needs fetched from backing store, which the double-buffer / DRAM
+  models consume to compute stalls.
+
+Closed-form SRAM access counts (R_u/C_u = used rows/cols of a fold,
+summed over folds; ``frows``/``fcols`` = fold counts along Sr/Sc):
+
+========  ======================  ======================  ====================
+Dataflow  ifmap reads             filter reads            ofmap writes
+========  ======================  ======================  ====================
+WS        K * N * fcols           K * M                   M * N * frows
+IS        K * N                   K * M * fcols           M * N * frows
+OS        K * N * ceil(M / R)     M * K * ceil(N / C)     M * N
+========  ======================  ======================  ====================
+
+(The stationary operand is read exactly once; streams are re-read once
+per fold along the other spatial axis; WS/IS emit one partial-sum write
+per K-fold.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.dataflow import (
+    Dataflow,
+    GemmMapping,
+    compute_utilization,
+    fold_cycles,
+    map_gemm,
+    mapping_efficiency,
+)
+from repro.errors import SimulationError
+from repro.topology.layer import ConvLayer, GemmLayer, GemmShape, Layer
+from repro.utils.math import ceil_div
+
+
+@dataclass(frozen=True)
+class TileFetch:
+    """A contiguous span of one operand to fetch from backing store."""
+
+    operand: str  # "ifmap" | "filter" | "ofmap"
+    start_word: int
+    num_words: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.operand not in ("ifmap", "filter", "ofmap"):
+            raise SimulationError(f"unknown operand {self.operand!r}")
+        if self.num_words < 0 or self.start_word < 0:
+            raise SimulationError("negative tile fetch span")
+
+
+@dataclass(frozen=True)
+class FoldSpec:
+    """One fold's schedule plus its backing-store traffic."""
+
+    fold_row: int
+    fold_col: int
+    start_cycle: int
+    cycles: int
+    rows_used: int
+    cols_used: int
+    fetches: tuple[TileFetch, ...] = ()
+
+    @property
+    def fetch_words(self) -> int:
+        """Words read from backing store ahead of this fold."""
+        return sum(f.num_words for f in self.fetches if not f.is_write)
+
+    @property
+    def writeback_words(self) -> int:
+        """Words written back to backing store after this fold."""
+        return sum(f.num_words for f in self.fetches if f.is_write)
+
+
+@dataclass
+class LayerComputeResult:
+    """Everything the rest of the pipeline needs to know about one layer."""
+
+    layer_name: str
+    shape: GemmShape
+    dataflow: Dataflow
+    array_rows: int
+    array_cols: int
+    mapping: GemmMapping
+    compute_cycles: int
+    folds_row: int
+    folds_col: int
+    cycles_per_fold: int
+    mapping_efficiency: float
+    compute_utilization: float
+    ifmap_sram_reads: int
+    filter_sram_reads: int
+    ofmap_sram_writes: int
+    dram_ifmap_words: int
+    dram_filter_words: int
+    dram_ofmap_write_words: int
+    dram_ofmap_readback_words: int
+    fold_specs: list[FoldSpec] = field(default_factory=list, repr=False)
+
+    @property
+    def total_folds(self) -> int:
+        """Number of folds executed."""
+        return self.folds_row * self.folds_col
+
+    @property
+    def macs(self) -> int:
+        """Dense MAC count of the layer."""
+        return self.shape.macs
+
+    @property
+    def total_sram_accesses(self) -> int:
+        """All SRAM reads and writes."""
+        return self.ifmap_sram_reads + self.filter_sram_reads + self.ofmap_sram_writes
+
+    @property
+    def total_dram_words(self) -> int:
+        """All words moved between DRAM and the scratchpads."""
+        return (
+            self.dram_ifmap_words
+            + self.dram_filter_words
+            + self.dram_ofmap_write_words
+            + self.dram_ofmap_readback_words
+        )
+
+
+class ComputeSimulator:
+    """Evaluates layers on a fixed array/dataflow configuration."""
+
+    def __init__(
+        self,
+        array_rows: int,
+        array_cols: int,
+        dataflow: Dataflow | str,
+        ifmap_sram_words: int = 1 << 30,
+        filter_sram_words: int = 1 << 30,
+        ofmap_sram_words: int = 1 << 30,
+    ) -> None:
+        if array_rows < 1 or array_cols < 1:
+            raise SimulationError(f"bad array {array_rows}x{array_cols}")
+        self.rows = array_rows
+        self.cols = array_cols
+        self.dataflow = Dataflow.parse(dataflow) if isinstance(dataflow, str) else dataflow
+        # Double buffering: half the SRAM holds the working set, half
+        # prefetches; the usable working capacity is therefore half.
+        self.ifmap_working_words = max(1, ifmap_sram_words // 2)
+        self.filter_working_words = max(1, filter_sram_words // 2)
+        self.ofmap_working_words = max(1, ofmap_sram_words // 2)
+
+    # ------------------------------------------------------------------ API
+
+    def simulate_layer(self, layer: Layer, with_fold_specs: bool = True) -> LayerComputeResult:
+        """Simulate one layer; optionally attach the per-fold fetch plan."""
+        shape = layer.to_gemm()
+        mapping = map_gemm(shape, self.dataflow)
+        frows = ceil_div(mapping.sr, self.rows)
+        fcols = ceil_div(mapping.sc, self.cols)
+        per_fold = fold_cycles(self.rows, self.cols, mapping.t)
+        total = frows * fcols * per_fold
+
+        ifmap_reads, filter_reads, ofmap_writes = self._sram_access_counts(
+            shape, frows, fcols
+        )
+        raw_ifmap, raw_filter, raw_ofmap = self._raw_footprints(layer, shape)
+        fold_specs = (
+            self._build_fold_specs(shape, mapping, frows, fcols, per_fold, raw_ifmap, raw_filter, raw_ofmap)
+            if with_fold_specs
+            else []
+        )
+        dram_ifmap, dram_filter, dram_owrite, dram_oread = self._dram_word_totals(fold_specs)
+        if not with_fold_specs:
+            dram_ifmap, dram_filter, dram_owrite, dram_oread = self._dram_totals_closed_form(
+                shape, mapping, frows, fcols, raw_ifmap, raw_filter, raw_ofmap
+            )
+
+        return LayerComputeResult(
+            layer_name=layer.name,
+            shape=shape,
+            dataflow=self.dataflow,
+            array_rows=self.rows,
+            array_cols=self.cols,
+            mapping=mapping,
+            compute_cycles=total,
+            folds_row=frows,
+            folds_col=fcols,
+            cycles_per_fold=per_fold,
+            mapping_efficiency=mapping_efficiency(mapping, self.rows, self.cols),
+            compute_utilization=compute_utilization(shape, self.dataflow, self.rows, self.cols),
+            ifmap_sram_reads=ifmap_reads,
+            filter_sram_reads=filter_reads,
+            ofmap_sram_writes=ofmap_writes,
+            dram_ifmap_words=dram_ifmap,
+            dram_filter_words=dram_filter,
+            dram_ofmap_write_words=dram_owrite,
+            dram_ofmap_readback_words=dram_oread,
+            fold_specs=fold_specs,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _sram_access_counts(
+        self, shape: GemmShape, frows: int, fcols: int
+    ) -> tuple[int, int, int]:
+        m, n, k = shape.m, shape.n, shape.k
+        if self.dataflow is Dataflow.WEIGHT_STATIONARY:
+            return k * n * fcols, k * m, m * n * frows
+        if self.dataflow is Dataflow.INPUT_STATIONARY:
+            return k * n, k * m * fcols, m * n * frows
+        # OS: Sr=M, Sc=N.
+        return n * k * frows, m * k * fcols, m * n
+
+    @staticmethod
+    def _raw_footprints(layer: Layer, shape: GemmShape) -> tuple[int, int, int]:
+        """Words in the raw (pre-im2col) operand tensors."""
+        if isinstance(layer, ConvLayer):
+            return layer.ifmap_words, layer.filter_words, layer.ofmap_words
+        if isinstance(layer, GemmLayer):
+            return shape.ifmap_words, shape.filter_words, shape.ofmap_words
+        raise SimulationError(f"unsupported layer type: {type(layer).__name__}")
+
+    def _build_fold_specs(
+        self,
+        shape: GemmShape,
+        mapping: GemmMapping,
+        frows: int,
+        fcols: int,
+        per_fold: int,
+        raw_ifmap: int,
+        raw_filter: int,
+        raw_ofmap: int,
+    ) -> list[FoldSpec]:
+        """Plan per-fold backing-store traffic with double-buffer reuse.
+
+        DRAM spans are synthesised over each operand's *raw* footprint
+        (contiguous streaming), proportional to the tile being fetched.
+        Im2col duplication is an SRAM-side effect and is charged there;
+        DRAM sees unique data.  See DESIGN.md "Core modelling decisions".
+        """
+        specs: list[FoldSpec] = []
+        t = mapping.t
+        df = self.dataflow
+        start = 0
+
+        # Raw words corresponding to one Sr-slice (row fold) of each
+        # streamed operand, capped by the raw footprint.
+        def slice_words(raw_total: int, used: int, total_dim: int) -> int:
+            if total_dim == 0:
+                return 0
+            return min(raw_total, ceil_div(raw_total * used, total_dim))
+
+        ifmap_cursor = 0
+        filter_cursor = 0
+
+        for fr in range(frows):
+            rows_used = min(self.rows, mapping.sr - fr * self.rows)
+            for fc in range(fcols):
+                cols_used = min(self.cols, mapping.sc - fc * self.cols)
+                fetches: list[TileFetch] = []
+
+                if df is Dataflow.WEIGHT_STATIONARY:
+                    # Stationary filter tile: rows_used x cols_used words.
+                    stat_words = rows_used * cols_used
+                    fetches.append(TileFetch("filter", filter_cursor % max(1, raw_filter), stat_words))
+                    filter_cursor += stat_words
+                    # Streamed ifmap slice: reused across fc if it fits.
+                    stream_words = slice_words(raw_ifmap, rows_used, mapping.sr)
+                    fits = stream_words <= self.ifmap_working_words
+                    if fc == 0 or not fits:
+                        fetches.append(TileFetch("ifmap", ifmap_cursor % max(1, raw_ifmap), stream_words))
+                        if not fits or fc == fcols - 1:
+                            ifmap_cursor += stream_words
+                    # Ofmap partials: commit once per K-fold unless the
+                    # output tile accumulates on-chip across fr.
+                    out_tile = cols_used * t
+                    accumulate = raw_ofmap <= self.ofmap_working_words
+                    if not accumulate:
+                        fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap), is_write=True))
+                        if fr > 0:
+                            fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap)))
+                    elif fr == frows - 1:
+                        fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap), is_write=True))
+
+                elif df is Dataflow.INPUT_STATIONARY:
+                    stat_words = slice_words(raw_ifmap, rows_used * cols_used, mapping.sr * mapping.sc)
+                    fetches.append(TileFetch("ifmap", ifmap_cursor % max(1, raw_ifmap), stat_words))
+                    ifmap_cursor += stat_words
+                    stream_words = slice_words(raw_filter, rows_used, mapping.sr)
+                    fits = stream_words <= self.filter_working_words
+                    if fc == 0 or not fits:
+                        fetches.append(TileFetch("filter", filter_cursor % max(1, raw_filter), stream_words))
+                        if not fits or fc == fcols - 1:
+                            filter_cursor += stream_words
+                    out_tile = cols_used * t
+                    accumulate = raw_ofmap <= self.ofmap_working_words
+                    if not accumulate:
+                        fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap), is_write=True))
+                        if fr > 0:
+                            fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap)))
+                    elif fr == frows - 1:
+                        fetches.append(TileFetch("ofmap", 0, min(out_tile, raw_ofmap), is_write=True))
+
+                else:  # OUTPUT_STATIONARY
+                    # Row-streamed filter slice reused across fc folds.
+                    w_words = slice_words(raw_filter, rows_used, mapping.sr)
+                    fits_w = w_words <= self.filter_working_words
+                    if fc == 0 or not fits_w:
+                        fetches.append(TileFetch("filter", filter_cursor % max(1, raw_filter), w_words))
+                        if not fits_w or fc == fcols - 1:
+                            filter_cursor += w_words
+                    # Column-streamed ifmap slice: new per fc, refetched
+                    # every fr pass unless the whole ifmap fits on-chip.
+                    x_words = slice_words(raw_ifmap, cols_used, mapping.sc)
+                    cached = raw_ifmap <= self.ifmap_working_words and fr > 0
+                    if not cached:
+                        fetches.append(TileFetch("ifmap", ifmap_cursor % max(1, raw_ifmap), x_words))
+                        ifmap_cursor += x_words
+                    # Outputs commit once.
+                    fetches.append(
+                        TileFetch("ofmap", 0, min(rows_used * cols_used, raw_ofmap), is_write=True)
+                    )
+
+                specs.append(
+                    FoldSpec(
+                        fold_row=fr,
+                        fold_col=fc,
+                        start_cycle=start,
+                        cycles=per_fold,
+                        rows_used=rows_used,
+                        cols_used=cols_used,
+                        fetches=tuple(fetches),
+                    )
+                )
+                start += per_fold
+        return specs
+
+    @staticmethod
+    def _dram_word_totals(specs: list[FoldSpec]) -> tuple[int, int, int, int]:
+        ifmap = filt = owrite = oread = 0
+        for spec in specs:
+            for fetch in spec.fetches:
+                if fetch.operand == "ifmap":
+                    ifmap += fetch.num_words
+                elif fetch.operand == "filter":
+                    filt += fetch.num_words
+                elif fetch.is_write:
+                    owrite += fetch.num_words
+                else:
+                    oread += fetch.num_words
+        return ifmap, filt, owrite, oread
+
+    def _dram_totals_closed_form(
+        self,
+        shape: GemmShape,
+        mapping: GemmMapping,
+        frows: int,
+        fcols: int,
+        raw_ifmap: int,
+        raw_filter: int,
+        raw_ofmap: int,
+    ) -> tuple[int, int, int, int]:
+        """Fast-path totals used when fold specs are not materialised.
+
+        Conservative approximation of :meth:`_build_fold_specs`: streams
+        are charged once per reuse group, the stationary operand once.
+        """
+        df = self.dataflow
+        accumulate = raw_ofmap <= self.ofmap_working_words
+        if df is Dataflow.WEIGHT_STATIONARY:
+            stream_slice = ceil_div(raw_ifmap, frows)
+            fits = stream_slice <= self.ifmap_working_words
+            ifmap = raw_ifmap if fits else raw_ifmap * fcols
+            owrite = raw_ofmap if accumulate else raw_ofmap * frows
+            oread = 0 if accumulate else raw_ofmap * (frows - 1)
+            return ifmap, raw_filter, owrite, oread
+        if df is Dataflow.INPUT_STATIONARY:
+            stream_slice = ceil_div(raw_filter, frows)
+            fits = stream_slice <= self.filter_working_words
+            filt = raw_filter if fits else raw_filter * fcols
+            owrite = raw_ofmap if accumulate else raw_ofmap * frows
+            oread = 0 if accumulate else raw_ofmap * (frows - 1)
+            return raw_ifmap, filt, owrite, oread
+        w_slice = ceil_div(raw_filter, frows)
+        fits_w = w_slice <= self.filter_working_words
+        filt = raw_filter if fits_w else raw_filter * fcols
+        ifmap = raw_ifmap if raw_ifmap <= self.ifmap_working_words else raw_ifmap * frows
+        return ifmap, filt, raw_ofmap, 0

@@ -1,0 +1,122 @@
+"""Operand address matrices (SCALE-Sim's ``operand_matrix`` stage).
+
+Every layer lowers to three address matrices for the GEMM
+``O[M, N] = W[M, K] @ X[K, N]``:
+
+* ``ifmap`` — ``X_addr[K, N]``; for a convolution this is the im2col
+  view, so the same ifmap address appears under several (k, n) pairs
+  (overlapping windows), exactly as in SCALE-Sim.
+* ``filter`` — ``W_addr[M, K]`` (dense row-major filter storage).
+* ``ofmap`` — ``O_addr[M, N]``.
+
+Addresses live in disjoint regions (ifmap / filter / ofmap base offsets)
+so downstream consumers (DRAM model, layout model, energy counters) can
+classify a request by its address alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.topology.layer import ConvLayer, GemmLayer, GemmShape, Layer
+
+IFMAP_BASE = 0
+FILTER_BASE = 10_000_000
+OFMAP_BASE = 20_000_000
+
+
+@dataclass(frozen=True)
+class OperandMatrices:
+    """The three address matrices of one layer's GEMM."""
+
+    shape: GemmShape
+    ifmap: np.ndarray  # (K, N) int64
+    filter: np.ndarray  # (M, K) int64
+    ofmap: np.ndarray  # (M, N) int64
+
+    def __post_init__(self) -> None:
+        expect = {
+            "ifmap": (self.shape.k, self.shape.n),
+            "filter": (self.shape.m, self.shape.k),
+            "ofmap": (self.shape.m, self.shape.n),
+        }
+        for name, want in expect.items():
+            got = getattr(self, name).shape
+            if got != want:
+                raise SimulationError(f"{name} matrix shape {got} != expected {want}")
+
+    @property
+    def unique_ifmap_words(self) -> int:
+        """Distinct ifmap addresses (== raw ifmap footprint for convs)."""
+        return int(np.unique(self.ifmap).size)
+
+    @property
+    def unique_filter_words(self) -> int:
+        """Distinct filter addresses."""
+        return int(np.unique(self.filter).size)
+
+
+def conv_operand_matrices(layer: ConvLayer) -> OperandMatrices:
+    """Build im2col address matrices for a convolution layer."""
+    shape = layer.to_gemm()
+    oh, ow = layer.ofmap_h, layer.ofmap_w
+    fh, fw, cin = layer.filter_h, layer.filter_w, layer.channels
+
+    # n enumerates ofmap pixels row-major: n = oh_idx * ow + ow_idx.
+    n_idx = np.arange(shape.n)
+    oh_idx = n_idx // ow
+    ow_idx = n_idx % ow
+
+    # k enumerates window elements: k = (kh * fw + kw) * cin + c.
+    k_idx = np.arange(shape.k)
+    kh_idx = k_idx // (fw * cin)
+    kw_idx = (k_idx // cin) % fw
+    c_idx = k_idx % cin
+
+    src_h = oh_idx[None, :] * layer.stride_h + kh_idx[:, None]
+    src_w = ow_idx[None, :] * layer.stride_w + kw_idx[:, None]
+    ifmap = (
+        IFMAP_BASE
+        + (src_h * layer.ifmap_w + src_w) * cin
+        + c_idx[:, None]
+    ).astype(np.int64)
+
+    m_idx = np.arange(shape.m)
+    filt = (FILTER_BASE + m_idx[:, None] * shape.k + k_idx[None, :]).astype(np.int64)
+    ofmap = (OFMAP_BASE + m_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
+    return OperandMatrices(shape=shape, ifmap=ifmap, filter=filt, ofmap=ofmap)
+
+
+def gemm_operand_matrices(layer: GemmLayer) -> OperandMatrices:
+    """Build dense row-major address matrices for a bare GEMM layer."""
+    shape = layer.to_gemm()
+    k_idx = np.arange(shape.k)
+    n_idx = np.arange(shape.n)
+    m_idx = np.arange(shape.m)
+    ifmap = (IFMAP_BASE + k_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
+    filt = (FILTER_BASE + m_idx[:, None] * shape.k + k_idx[None, :]).astype(np.int64)
+    ofmap = (OFMAP_BASE + m_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
+    return OperandMatrices(shape=shape, ifmap=ifmap, filter=filt, ofmap=ofmap)
+
+
+def operand_matrices(layer: Layer) -> OperandMatrices:
+    """Dispatch on layer kind."""
+    if isinstance(layer, ConvLayer):
+        return conv_operand_matrices(layer)
+    if isinstance(layer, GemmLayer):
+        return gemm_operand_matrices(layer)
+    raise SimulationError(f"unsupported layer type: {type(layer).__name__}")
+
+
+def classify_address(address: int) -> str:
+    """Map an address back to its operand region name."""
+    if address < 0:
+        raise SimulationError(f"negative address {address} has no region")
+    if address < FILTER_BASE:
+        return "ifmap"
+    if address < OFMAP_BASE:
+        return "filter"
+    return "ofmap"

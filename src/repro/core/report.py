@@ -1,0 +1,109 @@
+"""Report emission (SCALE-Sim's COMPUTE / BANDWIDTH / DETAILED reports).
+
+SCALE-Sim writes one CSV per report kind per run; we reproduce the same
+trio plus v3's additions (which live in their feature packages):
+
+* ``COMPUTE_REPORT.csv``   — cycles, stalls, utilisation per layer.
+* ``BANDWIDTH_REPORT.csv`` — average SRAM/DRAM bandwidth per layer.
+* ``DETAILED_ACCESS_REPORT.csv`` — per-operand SRAM/DRAM access counts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.utils.csvio import write_csv
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulator import LayerResult
+
+
+def write_compute_report(results: list["LayerResult"], out_dir: str | Path) -> Path:
+    """Write COMPUTE_REPORT.csv; returns the file path."""
+    header = [
+        "LayerID",
+        "LayerName",
+        "Dataflow",
+        "ComputeCycles",
+        "StallCycles",
+        "ColdStartCycles",
+        "TotalCycles",
+        "MappingEfficiency%",
+        "ComputeUtilization%",
+    ]
+    rows = []
+    for index, result in enumerate(results):
+        rows.append(
+            [
+                index,
+                result.layer_name,
+                result.compute.dataflow.value,
+                result.compute.compute_cycles,
+                result.timeline.stall_cycles,
+                result.timeline.cold_start_cycles,
+                result.total_cycles,
+                f"{result.compute.mapping_efficiency * 100:.2f}",
+                f"{result.compute.compute_utilization * 100:.2f}",
+            ]
+        )
+    return write_csv(Path(out_dir) / "COMPUTE_REPORT.csv", header, rows)
+
+
+def write_bandwidth_report(results: list["LayerResult"], out_dir: str | Path) -> Path:
+    """Write BANDWIDTH_REPORT.csv; returns the file path."""
+    header = [
+        "LayerID",
+        "LayerName",
+        "AvgIfmapSramBw(words/cycle)",
+        "AvgFilterSramBw(words/cycle)",
+        "AvgOfmapSramBw(words/cycle)",
+        "AvgDramBw(words/cycle)",
+    ]
+    rows = []
+    for index, result in enumerate(results):
+        cycles = max(1, result.total_cycles)
+        compute = result.compute
+        rows.append(
+            [
+                index,
+                result.layer_name,
+                f"{compute.ifmap_sram_reads / cycles:.4f}",
+                f"{compute.filter_sram_reads / cycles:.4f}",
+                f"{compute.ofmap_sram_writes / cycles:.4f}",
+                f"{compute.total_dram_words / cycles:.4f}",
+            ]
+        )
+    return write_csv(Path(out_dir) / "BANDWIDTH_REPORT.csv", header, rows)
+
+
+def write_detailed_report(results: list["LayerResult"], out_dir: str | Path) -> Path:
+    """Write DETAILED_ACCESS_REPORT.csv; returns the file path."""
+    header = [
+        "LayerID",
+        "LayerName",
+        "IfmapSramReads",
+        "FilterSramReads",
+        "OfmapSramWrites",
+        "DramIfmapWords",
+        "DramFilterWords",
+        "DramOfmapWriteWords",
+        "DramOfmapReadbackWords",
+    ]
+    rows = []
+    for index, result in enumerate(results):
+        compute = result.compute
+        rows.append(
+            [
+                index,
+                result.layer_name,
+                compute.ifmap_sram_reads,
+                compute.filter_sram_reads,
+                compute.ofmap_sram_writes,
+                compute.dram_ifmap_words,
+                compute.dram_filter_words,
+                compute.dram_ofmap_write_words,
+                compute.dram_ofmap_readback_words,
+            ]
+        )
+    return write_csv(Path(out_dir) / "DETAILED_ACCESS_REPORT.csv", header, rows)

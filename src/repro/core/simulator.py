@@ -1,0 +1,179 @@
+"""Single-core end-to-end simulator: compute + memory (+ DRAM).
+
+:class:`Simulator` wires the compute model to a memory backend chosen by
+the configuration:
+
+* ``dram.enabled == False`` — v2 semantics: ideal-bandwidth interface.
+* ``dram.enabled == True`` — v3 semantics: RamulatorLite with finite
+  read/write request queues; stalls appear whenever a fold's data is not
+  resident in the double buffer in time.
+
+Layout slowdown and energy are layered on top by their feature packages
+(:mod:`repro.layout`, :mod:`repro.energy`) and the high-level driver in
+:mod:`repro.run.runner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config.system import SystemConfig
+from repro.core.compute_sim import ComputeSimulator, LayerComputeResult
+from repro.core.report import (
+    write_bandwidth_report,
+    write_compute_report,
+    write_detailed_report,
+)
+from repro.dram.backend import DramBackend
+from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.memory.double_buffer import (
+    DoubleBufferMemory,
+    IdealBandwidthBackend,
+    MemoryBackend,
+    MemoryTimeline,
+)
+from repro.topology.topology import Topology
+
+
+@dataclass
+class LayerResult:
+    """One layer's resolved compute + memory outcome."""
+
+    layer_name: str
+    compute: LayerComputeResult
+    timeline: MemoryTimeline
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles including stalls and cold start."""
+        return self.timeline.total_cycles
+
+    @property
+    def compute_cycles(self) -> int:
+        """Pure compute cycles (Eq. 1)."""
+        return self.compute.compute_cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        """Mid-run stalls (excludes the cold-start fill)."""
+        return self.timeline.stall_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stall + cold-start cycles over total cycles."""
+        return self.timeline.stall_fraction
+
+
+@dataclass
+class RunResult:
+    """Results for a whole topology."""
+
+    run_name: str
+    topology_name: str
+    layers: list[LayerResult] = field(default_factory=list)
+    dram_stats: DramStats | None = None
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of per-layer end-to-end cycles."""
+        return sum(layer.total_cycles for layer in self.layers)
+
+    @property
+    def total_compute_cycles(self) -> int:
+        """Sum of per-layer compute cycles."""
+        return sum(layer.compute_cycles for layer in self.layers)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Sum of per-layer stall + cold-start cycles."""
+        return sum(
+            layer.stall_cycles + layer.timeline.cold_start_cycles for layer in self.layers
+        )
+
+    @property
+    def total_macs(self) -> int:
+        """Dense MAC count across layers."""
+        return sum(layer.compute.macs for layer in self.layers)
+
+    def layer_named(self, name: str) -> LayerResult:
+        """Look up one layer's result."""
+        for layer in self.layers:
+            if layer.layer_name == name:
+                return layer
+        raise KeyError(f"no layer {name!r} in run {self.run_name!r}")
+
+    def write_reports(self, out_dir: str | Path) -> list[Path]:
+        """Emit the three classic SCALE-Sim CSV reports."""
+        out = Path(out_dir) / self.run_name
+        return [
+            write_compute_report(self.layers, out),
+            write_bandwidth_report(self.layers, out),
+            write_detailed_report(self.layers, out),
+        ]
+
+
+class Simulator:
+    """End-to-end single-core simulator for a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        arch = config.arch
+        self.compute_sim = ComputeSimulator(
+            array_rows=arch.array_rows,
+            array_cols=arch.array_cols,
+            dataflow=arch.dataflow,
+            ifmap_sram_words=arch.ifmap_sram_words(),
+            filter_sram_words=arch.filter_sram_words(),
+            ofmap_sram_words=arch.ofmap_sram_words(),
+        )
+        self._dram: RamulatorLite | None = None
+        self._backend: MemoryBackend | None = None
+
+    def _make_backend(self) -> MemoryBackend:
+        """Fresh backend per run (bank/queue state must not leak)."""
+        if self.config.dram.enabled:
+            dram_cfg = self.config.dram
+            self._dram = RamulatorLite(
+                technology=dram_cfg.technology,
+                channels=dram_cfg.channels,
+                ranks_per_channel=dram_cfg.ranks_per_channel,
+                banks_per_rank=dram_cfg.banks_per_rank,
+                capacity_gb_per_channel=dram_cfg.capacity_gb_per_channel,
+                address_mapping=dram_cfg.address_mapping,
+            )
+            return DramBackend(
+                self._dram,
+                read_queue_entries=dram_cfg.read_queue_entries,
+                write_queue_entries=dram_cfg.write_queue_entries,
+                word_bytes=self.config.arch.word_bytes,
+                max_issue_per_cycle=dram_cfg.issue_per_cycle,
+            )
+        return IdealBandwidthBackend(self.config.arch.bandwidth_words)
+
+    def run(self, topology: Topology, keep_timings: bool = False) -> RunResult:
+        """Simulate every layer of ``topology`` in order."""
+        backend = self._make_backend()
+        memory = DoubleBufferMemory(backend)
+        result = RunResult(run_name=self.config.run.run_name, topology_name=topology.name)
+        clock = 0
+        for layer in topology:
+            compute = self.compute_sim.simulate_layer(layer)
+            timeline = memory.run(
+                compute.fold_specs, keep_timings=keep_timings, start_cycle=clock
+            )
+            clock += timeline.total_cycles
+            result.layers.append(
+                LayerResult(layer_name=layer.name, compute=compute, timeline=timeline)
+            )
+        if self._dram is not None:
+            result.dram_stats = self._dram.aggregate_stats()
+        return result
+
+    def run_layer(self, layer: object, keep_timings: bool = False) -> LayerResult:
+        """Simulate a single layer with a fresh backend."""
+        backend = self._make_backend()
+        memory = DoubleBufferMemory(backend)
+        compute = self.compute_sim.simulate_layer(layer)  # type: ignore[arg-type]
+        timeline = memory.run(compute.fold_specs, keep_timings=keep_timings)
+        return LayerResult(layer_name=compute.layer_name, compute=compute, timeline=timeline)

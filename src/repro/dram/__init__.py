@@ -1,0 +1,16 @@
+"""RamulatorLite: a cycle-accurate banked DRAM model (paper Section V)."""
+
+from repro.dram.timing import DramTiming, get_timing_preset
+from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.dram.backend import DramBackend
+
+__all__ = [
+    "DramTiming",
+    "get_timing_preset",
+    "AddressMapper",
+    "DecodedAddress",
+    "DramStats",
+    "RamulatorLite",
+    "DramBackend",
+]

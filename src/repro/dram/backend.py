@@ -1,0 +1,116 @@
+"""Adapter: tile fetches -> line requests -> RamulatorLite.
+
+This is v3's "memory datapath" (paper Section V-B step 3): demand spans
+are chopped into 64B lines, issued at most one per cycle into finite
+read/write request queues, and each line's round-trip latency comes from
+the DRAM model.  A full queue blocks issue — that backpressure is what
+makes small queues slow (Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.core.compute_sim import TileFetch
+from repro.core.operand_matrix import FILTER_BASE, IFMAP_BASE, OFMAP_BASE
+from repro.dram.address import LINE_BYTES
+from repro.dram.dram_sim import RamulatorLite
+from repro.errors import DramError
+from repro.memory.request_queue import RequestQueue
+
+_OPERAND_BASE_WORDS = {
+    "ifmap": IFMAP_BASE,
+    "filter": FILTER_BASE,
+    "ofmap": OFMAP_BASE,
+}
+
+
+class DramBackend:
+    """A :class:`repro.memory.double_buffer.MemoryBackend` backed by DRAM."""
+
+    def __init__(
+        self,
+        dram: RamulatorLite,
+        read_queue_entries: int = 128,
+        write_queue_entries: int = 128,
+        word_bytes: int = 2,
+        max_issue_per_cycle: int = 1,
+    ) -> None:
+        if word_bytes < 1:
+            raise DramError(f"word_bytes must be >= 1, got {word_bytes}")
+        if max_issue_per_cycle < 1:
+            raise DramError("max_issue_per_cycle must be >= 1")
+        self.dram = dram
+        self.word_bytes = word_bytes
+        self.max_issue_per_cycle = max_issue_per_cycle
+        self.read_queue = RequestQueue(read_queue_entries, "read_queue")
+        self.write_queue = RequestQueue(write_queue_entries, "write_queue")
+        self._issue_clock = 0
+        self.total_lines_read = 0
+        self.total_lines_written = 0
+
+    # ------------------------------------------------------------- protocol
+
+    def complete_fetches(self, fetches: tuple[TileFetch, ...], issue_cycle: int) -> int:
+        """Issue all lines of a fold's fetches; return read-data-ready cycle.
+
+        The per-operand DMA engines run concurrently, so lines from the
+        fold's fetches are issued round-robin across operand streams —
+        the interleaving that makes DRAM bank behaviour (and request
+        queues) matter for mixed traffic.
+        """
+        clock = max(issue_cycle, self._issue_clock)
+        last_read_done = clock
+        issued_this_cycle = 0
+
+        streams: list[tuple[range, bool]] = []
+        for fetch in fetches:
+            if fetch.num_words == 0:
+                continue
+            base_byte = _OPERAND_BASE_WORDS[fetch.operand] * self.word_bytes
+            start_byte = base_byte + fetch.start_word * self.word_bytes
+            num_bytes = fetch.num_words * self.word_bytes
+            first_line = start_byte // LINE_BYTES
+            last_line = (start_byte + num_bytes - 1) // LINE_BYTES
+            streams.append((range(first_line, last_line + 1), fetch.is_write))
+
+        iterators = [(iter(lines), is_write) for lines, is_write in streams]
+        while iterators:
+            exhausted = []
+            for index, (lines, is_write) in enumerate(iterators):
+                line = next(lines, None)
+                if line is None:
+                    exhausted.append(index)
+                    continue
+                # Front-end issue bandwidth: max_issue_per_cycle lines/cycle.
+                if issued_this_cycle >= self.max_issue_per_cycle:
+                    clock += 1
+                    issued_this_cycle = 0
+                queue = self.write_queue if is_write else self.read_queue
+                issue_at = queue.earliest_issue(clock)
+                if issue_at > clock:
+                    queue.record_stall(issue_at - clock)
+                    clock = issue_at
+                    issued_this_cycle = 0
+                completion = self.dram.submit(line * LINE_BYTES, clock, is_write=is_write)
+                queue.push(clock, completion)
+                issued_this_cycle += 1
+                if is_write:
+                    self.total_lines_written += 1
+                else:
+                    self.total_lines_read += 1
+                    last_read_done = max(last_read_done, completion)
+            for index in reversed(exhausted):
+                iterators.pop(index)
+
+        self._issue_clock = clock
+        return last_read_done
+
+    def drain(self) -> int:
+        """Cycle when every in-flight read and write has completed."""
+        return max(self.read_queue.drain_time(), self.write_queue.drain_time())
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def stall_cycles_from_backpressure(self) -> int:
+        """Issue cycles lost to full request queues."""
+        return self.read_queue.total_stall_cycles + self.write_queue.total_stall_cycles

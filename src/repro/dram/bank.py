@@ -1,0 +1,65 @@
+"""Per-bank DRAM state machine (open-page policy).
+
+Each bank tracks its open row, when it can next accept a column command,
+and when the current row's tRAS window expires.  An access classifies as
+
+* **hit** — the target row is already open: pay CAS latency only,
+* **miss** (empty) — no row open: ACT then CAS,
+* **conflict** — another row open: PRE (after tRAS), ACT, then CAS.
+
+The returned ``data_start`` still has to win the shared channel data bus
+(see :mod:`repro.dram.dram_sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DramTiming
+
+HIT = "hit"
+MISS = "miss"
+CONFLICT = "conflict"
+
+
+@dataclass
+class BankState:
+    """Mutable timing state of one DRAM bank."""
+
+    open_row: int | None = None
+    ready_cycle: int = 0  # earliest next column command
+    activate_cycle: int = field(default=-(10**9))  # last ACT time (for tRAS)
+
+    def access(
+        self, cycle: int, row: int, is_write: bool, timing: DramTiming
+    ) -> tuple[int, str]:
+        """Perform a line access; returns (data_available_cycle, category).
+
+        ``cycle`` is when the controller presents the command; the bank
+        may defer it until it is ready.
+        """
+        start = max(cycle, self.ready_cycle)
+        cas = timing.t_cwl if is_write else timing.t_cl
+
+        if self.open_row == row:
+            category = HIT
+            issue = start
+        elif self.open_row is None:
+            category = MISS
+            issue = start + timing.t_rcd
+            self.activate_cycle = start
+        else:
+            category = CONFLICT
+            # Precharge may not begin before tRAS after the previous ACT.
+            pre_start = max(start, self.activate_cycle + timing.t_ras)
+            act = pre_start + timing.t_rp
+            issue = act + timing.t_rcd
+            self.activate_cycle = act
+
+        self.open_row = row
+        data_start = issue + cas
+        # Next column command to this bank must respect tCCD; a write
+        # additionally blocks the bank for write recovery.
+        recovery = timing.t_wr if is_write else 0
+        self.ready_cycle = issue + timing.t_ccd + recovery
+        return data_start, category

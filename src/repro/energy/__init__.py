@@ -1,0 +1,24 @@
+"""AccelergyLite: architecture-level energy and power estimation."""
+
+from repro.energy.components import ComponentLibrary, UnitEnergy
+from repro.energy.ert import EnergyReferenceTable, build_ert
+from repro.energy.actions import ActionCounts, count_actions
+from repro.energy.accelergy import (
+    AccelergyLite,
+    EnergyReport,
+    SYSTEM_STATE_REFERENCE_MW,
+    system_state_power_mw,
+)
+
+__all__ = [
+    "ComponentLibrary",
+    "UnitEnergy",
+    "EnergyReferenceTable",
+    "build_ert",
+    "ActionCounts",
+    "count_actions",
+    "AccelergyLite",
+    "EnergyReport",
+    "SYSTEM_STATE_REFERENCE_MW",
+    "system_state_power_mw",
+]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the SCALE-Sim v3 reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Sub-classes mirror the
+subsystems of the simulator (configuration, topology, compute, memory,
+DRAM, sparsity, layout, energy) so failures self-describe their origin.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid, missing, or inconsistent configuration values."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed workload topologies or layer descriptions."""
+
+
+class MappingError(ReproError):
+    """Raised when a GEMM cannot be mapped onto the requested array/dataflow."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation reaches an impossible internal state."""
+
+
+class MemoryModelError(ReproError):
+    """Raised by the on-chip memory models (double buffer, scratchpads)."""
+
+
+class DramError(ReproError):
+    """Raised by the RamulatorLite DRAM model."""
+
+
+class SparsityError(ReproError):
+    """Raised for invalid sparsity configurations (e.g. N > M)."""
+
+
+class LayoutError(ReproError):
+    """Raised for invalid data-layout specifications."""
+
+
+class EnergyModelError(ReproError):
+    """Raised by the AccelergyLite energy model."""
+
+
+class ReportError(ReproError):
+    """Raised when a report cannot be generated or written."""

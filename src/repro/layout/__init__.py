@@ -1,0 +1,14 @@
+"""Multi-bank on-chip data-layout modelling (paper Section VI)."""
+
+from repro.layout.spec import LayoutSpec, TensorView
+from repro.layout.conflict import BankConflictEvaluator, CycleCost
+from repro.layout.integrate import LayoutEvalResult, evaluate_layout_slowdown
+
+__all__ = [
+    "LayoutSpec",
+    "TensorView",
+    "BankConflictEvaluator",
+    "CycleCost",
+    "LayoutEvalResult",
+    "evaluate_layout_slowdown",
+]

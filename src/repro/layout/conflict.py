@@ -1,0 +1,141 @@
+"""Bank-conflict evaluation: per-cycle request sets -> access latency.
+
+For every compute cycle the array requests a set of elements.  Each bank
+serves its requests from ``row_buffers`` open-line buffers (the 'bank
+size' knob of Section VII-C): a request to an already-open line is a
+buffered hit, while each newly-opened line costs one of the bank's
+``ports_per_bank`` accesses for the cycle::
+
+    cost = max(1, max_over_banks ceil(new_lines_in_bank / ports))
+
+SCALE-Sim v2's pure bandwidth model instead charges
+``ceil(requests / total_bandwidth)``.  The slowdown the paper plots
+(Figures 12/13) is the ratio of the two totals minus one, which can be
+negative: an open line delivers many elements per access, so well-laid-
+out requests beat the flat bandwidth assumption.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.layout.spec import LayoutSpec
+from repro.utils.math import ceil_div
+
+
+@dataclass(frozen=True)
+class CycleCost:
+    """Cost of serving one cycle's requests under both models."""
+
+    requests: int
+    layout_cycles: int
+    bandwidth_cycles: int
+
+
+class BankConflictEvaluator:
+    """Accumulates per-cycle costs for a layout and a bandwidth budget.
+
+    Args:
+        layout: the banked-SRAM layout under evaluation.
+        bandwidth_model_words: words/cycle assumed by the flat model.
+        row_buffers_per_bank: open-line buffers per bank (LRU); lines in
+            a buffer are re-read for free on later cycles.
+    """
+
+    def __init__(
+        self,
+        layout: LayoutSpec,
+        bandwidth_model_words: int,
+        row_buffers_per_bank: int = 4,
+    ) -> None:
+        if bandwidth_model_words < 1:
+            raise LayoutError(
+                f"bandwidth_model_words must be >= 1, got {bandwidth_model_words}"
+            )
+        if row_buffers_per_bank < 1:
+            raise LayoutError(
+                f"row_buffers_per_bank must be >= 1, got {row_buffers_per_bank}"
+            )
+        self.layout = layout
+        self.bandwidth_model_words = bandwidth_model_words
+        self.row_buffers_per_bank = row_buffers_per_bank
+        self.total_layout_cycles = 0
+        self.total_bandwidth_cycles = 0
+        self.total_requests = 0
+        self.cycles_evaluated = 0
+        # Per-bank LRU of open line ids.
+        self._open_lines: dict[int, OrderedDict[int, None]] = {}
+
+    def _bank_buffer(self, bank: int) -> OrderedDict[int, None]:
+        if bank not in self._open_lines:
+            self._open_lines[bank] = OrderedDict()
+        return self._open_lines[bank]
+
+    def cost_of_cycle(self, offsets: np.ndarray) -> CycleCost:
+        """Cost of one cycle's element requests (flat offsets).
+
+        Updates the per-bank open-line state as a side effect.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        requests = int(offsets.size)
+        if requests == 0:
+            return CycleCost(0, 1, 1)
+        line_id, _, bank_id = self.layout.locate(offsets)
+        keys = bank_id * (self.layout.num_lines + 1) + line_id
+        unique_keys = np.unique(keys)
+
+        worst_new = 0
+        per_bank_new: dict[int, int] = {}
+        for key in unique_keys.tolist():
+            bank = key // (self.layout.num_lines + 1)
+            line = key % (self.layout.num_lines + 1)
+            buffer = self._bank_buffer(bank)
+            if line in buffer:
+                buffer.move_to_end(line)
+                continue
+            buffer[line] = None
+            while len(buffer) > self.row_buffers_per_bank:
+                buffer.popitem(last=False)
+            per_bank_new[bank] = per_bank_new.get(bank, 0) + 1
+        if per_bank_new:
+            worst_new = max(per_bank_new.values())
+
+        layout_cycles = max(1, ceil_div(worst_new, self.layout.ports_per_bank)) if worst_new else 1
+        bandwidth_cycles = max(1, ceil_div(requests, self.bandwidth_model_words))
+        return CycleCost(requests, layout_cycles, bandwidth_cycles)
+
+    def add_cycle(self, offsets: np.ndarray) -> CycleCost:
+        """Evaluate and accumulate one cycle."""
+        cost = self.cost_of_cycle(offsets)
+        self.total_layout_cycles += cost.layout_cycles
+        self.total_bandwidth_cycles += cost.bandwidth_cycles
+        self.total_requests += cost.requests
+        self.cycles_evaluated += 1
+        return cost
+
+    def add_demand_matrix(self, demand: np.ndarray, base_offset: int = 0) -> None:
+        """Evaluate every row of a (cycles x ports) demand matrix.
+
+        Entries below zero are bubbles; ``base_offset`` is subtracted to
+        convert operand-region addresses to tensor-local offsets.
+        """
+        demand = np.asarray(demand)
+        for row in demand:
+            valid = row[row >= 0]
+            if valid.size:
+                self.add_cycle(valid - base_offset)
+            else:
+                self.total_layout_cycles += 1
+                self.total_bandwidth_cycles += 1
+                self.cycles_evaluated += 1
+
+    @property
+    def slowdown(self) -> float:
+        """Layout-model total over bandwidth-model total, minus one."""
+        if self.total_bandwidth_cycles == 0:
+            return 0.0
+        return self.total_layout_cycles / self.total_bandwidth_cycles - 1.0

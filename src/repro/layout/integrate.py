@@ -1,0 +1,110 @@
+"""Layout-aware memory latency for whole layers (Figures 12 and 13).
+
+Couples the cycle-accurate demand traces of :class:`TraceEngine` with
+:class:`BankConflictEvaluator`: the ifmap SRAM is the multi-banked
+buffer under study (it serves the highest-rate stream in every
+dataflow), and each compute cycle's ifmap requests are costed under the
+realistic bank model versus SCALE-Sim v2's flat bandwidth model.
+
+Full traces are O(cycles x ports), so callers bound the work with
+``max_folds``; the slowdown ratio converges after a handful of folds
+because the access pattern is periodic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataflow import Dataflow
+from repro.core.operand_matrix import FILTER_BASE, IFMAP_BASE, operand_matrices
+from repro.core.systolic import TraceEngine
+from repro.errors import LayoutError
+from repro.layout.conflict import BankConflictEvaluator
+from repro.layout.spec import LayoutSpec, TensorView
+from repro.topology.layer import ConvLayer, GemmLayer, Layer
+
+
+@dataclass(frozen=True)
+class LayoutEvalResult:
+    """Layout-vs-bandwidth comparison for one layer."""
+
+    layer_name: str
+    dataflow: Dataflow
+    num_banks: int
+    total_bandwidth: int
+    cycles_evaluated: int
+    layout_cycles: int
+    bandwidth_cycles: int
+    slowdown: float
+
+
+def _view_for_layer(layer: Layer) -> TensorView:
+    if isinstance(layer, ConvLayer):
+        return TensorView(c_dim=layer.channels, h_dim=layer.ifmap_h, w_dim=layer.ifmap_w)
+    if isinstance(layer, GemmLayer):
+        # X operand is K x N with addr = k * N + n: N plays "channel"
+        # (fastest axis), K splits into a synthetic H x W.
+        return TensorView.for_matrix(layer.k, layer.n)
+    raise LayoutError(f"unsupported layer type: {type(layer).__name__}")
+
+
+def evaluate_layout_slowdown(
+    layer: Layer,
+    dataflow: Dataflow | str,
+    array_rows: int,
+    array_cols: int,
+    num_banks: int,
+    total_bandwidth_words: int,
+    ports_per_bank: int = 1,
+    layout: LayoutSpec | None = None,
+    max_folds: int | None = 8,
+) -> LayoutEvalResult:
+    """Slowdown of the banked-layout model versus the flat-BW model.
+
+    Args:
+        total_bandwidth_words: the on-chip bandwidth both models share;
+            the layout model splits it evenly across ``num_banks``.
+        layout: explicit layout; defaults to
+            :meth:`LayoutSpec.default_for` on the layer's ifmap view.
+        max_folds: cap on folds traced (None = all folds).
+    """
+    if isinstance(dataflow, str):
+        dataflow = Dataflow.parse(dataflow)
+    if total_bandwidth_words % num_banks:
+        raise LayoutError(
+            f"total bandwidth {total_bandwidth_words} not divisible by "
+            f"{num_banks} banks"
+        )
+    view = _view_for_layer(layer)
+    if layout is None:
+        layout = LayoutSpec.default_for(
+            view,
+            num_banks=num_banks,
+            bandwidth_per_bank=total_bandwidth_words // num_banks,
+            ports_per_bank=ports_per_bank,
+        )
+    evaluator = BankConflictEvaluator(layout, bandwidth_model_words=total_bandwidth_words)
+    engine = TraceEngine(operand_matrices(layer), dataflow, array_rows, array_cols)
+
+    for index, fold in enumerate(engine.fold_traces()):
+        if max_folds is not None and index >= max_folds:
+            break
+        for matrix in (fold.row_port_demand, fold.col_port_demand):
+            ifmap_only = np.where(
+                (matrix >= IFMAP_BASE) & (matrix < FILTER_BASE), matrix, -1
+            )
+            if (ifmap_only >= 0).any():
+                evaluator.add_demand_matrix(ifmap_only, base_offset=IFMAP_BASE)
+
+    return LayoutEvalResult(
+        layer_name=layer.name,
+        dataflow=dataflow,
+        num_banks=num_banks,
+        total_bandwidth=total_bandwidth_words,
+        cycles_evaluated=evaluator.cycles_evaluated,
+        layout_cycles=evaluator.total_layout_cycles,
+        bandwidth_cycles=evaluator.total_bandwidth_cycles,
+        slowdown=evaluator.slowdown,
+    )

@@ -1,0 +1,167 @@
+"""Data-layout specification: nested-loop order over a multi-bank SRAM.
+
+Following Figure 11, the multi-bank on-chip memory is a 2D array whose
+rows ("lines") aggregate the same-index row of every bank.  A layout is
+the pair of nested loop orders:
+
+* **inter-line** — which (c1, h1, w1) block a line holds, with steps
+  ``c1_step`` / ``h1_step`` / ``w1_step``;
+* **intra-line** — the order of elements within the line (w2, h2, c2
+  loops with unit steps; c fastest, matching the address encoding of
+  :mod:`repro.core.operand_matrix`).
+
+The index equations are the paper's (Section VI-B)::
+
+    line_id = (c//c1) * ceil(H/h1) * ceil(W/w1) + (h//h1) * ceil(W/w1) + (w//w1)
+    col_id  = (w%w1) * h1 * c1 + (h%h1) * c1 + (c%c1)
+    bank_id = col_id // bandwidth_per_bank
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.utils.math import ceil_div
+
+
+@dataclass(frozen=True)
+class TensorView:
+    """Interpret a flat operand address range as a C x H x W tensor.
+
+    The core's conv address encoding is ``addr = (h * W + w) * C + c``
+    (channel fastest); GEMM operands are given a synthetic H x W split
+    of their second axis so the same machinery applies.
+    """
+
+    c_dim: int
+    h_dim: int
+    w_dim: int
+
+    def __post_init__(self) -> None:
+        for name in ("c_dim", "h_dim", "w_dim"):
+            if getattr(self, name) < 1:
+                raise LayoutError(f"{name} must be >= 1, got {getattr(self, name)}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total elements of the tensor."""
+        return self.c_dim * self.h_dim * self.w_dim
+
+    def coords(self, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised (c, h, w) decomposition of flat offsets."""
+        if (offsets < 0).any():
+            raise LayoutError("negative offsets cannot be decomposed")
+        wrapped = offsets % self.num_elements
+        c = wrapped % self.c_dim
+        hw = wrapped // self.c_dim
+        w = hw % self.w_dim
+        h = hw // self.w_dim
+        return c, h, w
+
+    @classmethod
+    def for_matrix(cls, rows: int, cols: int) -> "TensorView":
+        """View a ``rows x cols`` matrix as C=cols, with H x W ~ rows.
+
+        W is the largest power-of-two-ish divisor near sqrt(rows) so the
+        synthetic split stays balanced.
+        """
+        if rows < 1 or cols < 1:
+            raise LayoutError(f"bad matrix {rows}x{cols}")
+        w = max(1, int(rows**0.5))
+        while rows % w:
+            w -= 1
+        return cls(c_dim=cols, h_dim=rows // w, w_dim=w)
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """One concrete layout of a tensor over a banked SRAM."""
+
+    view: TensorView
+    c1_step: int
+    h1_step: int
+    w1_step: int
+    num_banks: int
+    bandwidth_per_bank: int  # elements per bank line
+    ports_per_bank: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("c1_step", "h1_step", "w1_step", "num_banks", "bandwidth_per_bank", "ports_per_bank"):
+            if getattr(self, name) < 1:
+                raise LayoutError(f"{name} must be >= 1, got {getattr(self, name)}")
+        if self.line_elements > self.num_banks * self.bandwidth_per_bank:
+            raise LayoutError(
+                f"a line holds {self.line_elements} elements but the banks "
+                f"provide only {self.num_banks * self.bandwidth_per_bank}"
+            )
+
+    @property
+    def line_elements(self) -> int:
+        """Elements per aggregated line (one inter-line block)."""
+        return self.c1_step * self.h1_step * self.w1_step
+
+    @property
+    def total_bandwidth(self) -> int:
+        """Elements deliverable per cycle across all banks."""
+        return self.num_banks * self.bandwidth_per_bank * self.ports_per_bank
+
+    @property
+    def num_lines(self) -> int:
+        """Lines needed to hold the whole tensor."""
+        view = self.view
+        return (
+            ceil_div(view.c_dim, self.c1_step)
+            * ceil_div(view.h_dim, self.h1_step)
+            * ceil_div(view.w_dim, self.w1_step)
+        )
+
+    def locate(self, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised (line_id, col_id, bank_id) for flat element offsets."""
+        c, h, w = self.view.coords(np.asarray(offsets, dtype=np.int64))
+        h_blocks = ceil_div(self.view.h_dim, self.h1_step)
+        w_blocks = ceil_div(self.view.w_dim, self.w1_step)
+        line_id = (
+            (c // self.c1_step) * h_blocks * w_blocks
+            + (h // self.h1_step) * w_blocks
+            + (w // self.w1_step)
+        )
+        col_id = (
+            (w % self.w1_step) * self.h1_step * self.c1_step
+            + (h % self.h1_step) * self.c1_step
+            + (c % self.c1_step)
+        )
+        bank_id = col_id // self.bandwidth_per_bank
+        return line_id, col_id, bank_id
+
+    @classmethod
+    def default_for(
+        cls,
+        view: TensorView,
+        num_banks: int,
+        bandwidth_per_bank: int,
+        ports_per_bank: int = 1,
+    ) -> "LayoutSpec":
+        """A reasonable layout: fill the line with C first, then H, then W.
+
+        Mirrors Figure 11's ``C64 H8 W8 -> W2 H4 C16`` style: the
+        intra-line capacity ``num_banks * bandwidth_per_bank`` is packed
+        greedily with channel elements, then spatial rows/cols.
+        """
+        capacity = num_banks * bandwidth_per_bank
+        c1 = min(view.c_dim, capacity)
+        remaining = max(1, capacity // c1)
+        h1 = min(view.h_dim, remaining)
+        remaining = max(1, remaining // h1)
+        w1 = min(view.w_dim, remaining)
+        return cls(
+            view=view,
+            c1_step=c1,
+            h1_step=h1,
+            w1_step=w1,
+            num_banks=num_banks,
+            bandwidth_per_bank=bandwidth_per_bank,
+            ports_per_bank=ports_per_bank,
+        )

@@ -1,0 +1,17 @@
+"""On-chip memory models: double buffering, request queues, L1/L2 glue."""
+
+from repro.memory.request_queue import RequestQueue
+from repro.memory.double_buffer import (
+    DoubleBufferMemory,
+    IdealBandwidthBackend,
+    MemoryBackend,
+    MemoryTimeline,
+)
+
+__all__ = [
+    "RequestQueue",
+    "DoubleBufferMemory",
+    "IdealBandwidthBackend",
+    "MemoryBackend",
+    "MemoryTimeline",
+]

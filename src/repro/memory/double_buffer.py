@@ -1,0 +1,168 @@
+"""Double-buffered SRAM with prefetch, and the fold-level stall model.
+
+SCALE-Sim's scratchpads are double buffered: while the array computes on
+the active half, the other half prefetches the next fold's tiles from
+backing store (ideal-bandwidth interface in v2, RamulatorLite in v3).
+
+:class:`DoubleBufferMemory` walks a layer's :class:`FoldSpec` schedule:
+
+* fold 0's fetches are issued at cycle 0 (cold start — pure latency),
+* fold ``i+1``'s fetches are issued when fold ``i`` starts computing,
+* a fold may only start once its data has arrived; the gap between the
+  compute-ready time and the data-ready time is the *stall*.
+
+Backends implement :class:`MemoryBackend`; the ideal one models v2's
+monolithic interface (fixed words/cycle), the DRAM one lives in
+:mod:`repro.dram.backend` and adds request-queue backpressure plus
+cycle-accurate bank timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.compute_sim import FoldSpec, TileFetch
+from repro.errors import MemoryModelError
+from repro.utils.math import ceil_div
+
+
+class MemoryBackend(Protocol):
+    """Anything that can complete a batch of tile fetches."""
+
+    def complete_fetches(self, fetches: tuple[TileFetch, ...], issue_cycle: int) -> int:
+        """Return the cycle at which all read data has arrived.
+
+        Writes must be accepted (possibly with backpressure) but do not
+        gate the returned read-completion time unless the write path
+        blocks issue.
+        """
+        ...
+
+    def drain(self) -> int:
+        """Cycle at which all outstanding traffic (incl. writes) completes."""
+        ...
+
+
+class IdealBandwidthBackend:
+    """SCALE-Sim v2's monolithic memory: fixed bandwidth, zero conflicts."""
+
+    def __init__(self, bandwidth_words: int, latency_cycles: int = 0) -> None:
+        if bandwidth_words < 1:
+            raise MemoryModelError(f"bandwidth must be >= 1, got {bandwidth_words}")
+        if latency_cycles < 0:
+            raise MemoryModelError(f"latency must be >= 0, got {latency_cycles}")
+        self.bandwidth_words = bandwidth_words
+        self.latency_cycles = latency_cycles
+        self._busy_until = 0
+        self.total_read_words = 0
+        self.total_write_words = 0
+
+    def complete_fetches(self, fetches: tuple[TileFetch, ...], issue_cycle: int) -> int:
+        read_words = sum(f.num_words for f in fetches if not f.is_write)
+        write_words = sum(f.num_words for f in fetches if f.is_write)
+        self.total_read_words += read_words
+        self.total_write_words += write_words
+        start = max(issue_cycle, self._busy_until)
+        transfer = ceil_div(read_words + write_words, self.bandwidth_words) if (
+            read_words or write_words
+        ) else 0
+        self._busy_until = start + transfer
+        return start + transfer + (self.latency_cycles if read_words else 0)
+
+    def drain(self) -> int:
+        return self._busy_until
+
+
+@dataclass
+class FoldTiming:
+    """Resolved timing of one fold after memory stalls."""
+
+    fold_index: int
+    data_ready: int
+    compute_start: int
+    compute_end: int
+    stall_cycles: int
+
+
+@dataclass
+class MemoryTimeline:
+    """The stall-resolved execution timeline of one layer."""
+
+    compute_cycles: int
+    total_cycles: int
+    stall_cycles: int
+    cold_start_cycles: int
+    fold_timings: list[FoldTiming] = field(default_factory=list, repr=False)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stalls (incl. cold start) as a fraction of total cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return (self.stall_cycles + self.cold_start_cycles) / self.total_cycles
+
+
+class DoubleBufferMemory:
+    """Walks a fold schedule against a backend and resolves stalls."""
+
+    def __init__(self, backend: MemoryBackend) -> None:
+        self.backend = backend
+
+    def run(
+        self,
+        fold_specs: list[FoldSpec],
+        keep_timings: bool = False,
+        start_cycle: int = 0,
+    ) -> MemoryTimeline:
+        """Resolve the timeline for one layer's fold schedule.
+
+        ``start_cycle`` places this layer on a continuous run timeline so
+        a backend shared across layers (one DRAM, one bus) sees globally
+        consistent issue times; the returned cycle counts are all
+        layer-relative.
+        """
+        if not fold_specs:
+            return MemoryTimeline(0, 0, 0, 0)
+
+        timings: list[FoldTiming] = []
+        # Cold start: fold 0's data fetched before compute begins.
+        ready = self.backend.complete_fetches(fold_specs[0].fetches, start_cycle)
+        cold_start = ready - start_cycle
+        clock = ready
+        stall_total = 0
+        compute_total = 0
+
+        for index, spec in enumerate(fold_specs):
+            compute_start = max(clock, ready)
+            stall = compute_start - clock
+            stall_total += stall
+            compute_end = compute_start + spec.cycles
+            compute_total += spec.cycles
+            if keep_timings:
+                timings.append(
+                    FoldTiming(
+                        fold_index=index,
+                        data_ready=ready,
+                        compute_start=compute_start,
+                        compute_end=compute_end,
+                        stall_cycles=stall,
+                    )
+                )
+            # Prefetch the next fold while this one computes.
+            if index + 1 < len(fold_specs):
+                ready = self.backend.complete_fetches(
+                    fold_specs[index + 1].fetches, compute_start
+                )
+            clock = compute_end
+
+        # Note: ``clock`` started at ``ready``, so the cold start is not
+        # part of ``stall_total`` — the two are reported separately and
+        # summed in :attr:`MemoryTimeline.stall_fraction`.
+        return MemoryTimeline(
+            compute_cycles=compute_total,
+            total_cycles=clock - start_cycle,
+            stall_cycles=stall_total,
+            cold_start_cycles=cold_start,
+            fold_timings=timings,
+        )

@@ -1,0 +1,36 @@
+"""Multi tensor-core simulation (paper Section III)."""
+
+from repro.multicore.partition import (
+    PartitionChoice,
+    PartitionScheme,
+    best_partition,
+    l1_footprint_words,
+    l2_footprint_words,
+    partition_runtime,
+    partition_shape,
+    partition_tradeoff,
+)
+from repro.multicore.simd import SimdUnit
+from repro.multicore.noc import NopLink, nonuniform_shares
+from repro.multicore.multicore_sim import (
+    CoreSpec,
+    MultiCoreGemmResult,
+    MultiCoreSimulator,
+)
+
+__all__ = [
+    "PartitionChoice",
+    "PartitionScheme",
+    "best_partition",
+    "l1_footprint_words",
+    "l2_footprint_words",
+    "partition_runtime",
+    "partition_shape",
+    "partition_tradeoff",
+    "SimdUnit",
+    "NopLink",
+    "nonuniform_shares",
+    "CoreSpec",
+    "MultiCoreGemmResult",
+    "MultiCoreSimulator",
+]

@@ -1,0 +1,94 @@
+"""Network-on-Package model and non-uniform workload partitioning.
+
+Multi-chip-module accelerators (Simba et al.) have per-chiplet NoP
+latencies that grow with hop distance from the memory controller
+(paper Section III-D).  With uniform work shares the farthest chiplet
+dominates; non-uniform partitioning gives distant cores less work so
+every core finishes together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.math import ceil_div
+
+
+@dataclass(frozen=True)
+class NopLink:
+    """A core's link to main memory: hop count and per-hop latency."""
+
+    hops: int
+    latency_per_hop: int = 1
+    words_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hops < 0:
+            raise ConfigError(f"hops must be >= 0, got {self.hops}")
+        if self.latency_per_hop < 0:
+            raise ConfigError("latency_per_hop must be >= 0")
+        if self.words_per_cycle < 1:
+            raise ConfigError("words_per_cycle must be >= 1")
+
+    @property
+    def base_latency(self) -> int:
+        """Head latency of one transfer."""
+        return self.hops * self.latency_per_hop
+
+    def transfer_cycles(self, words: int) -> int:
+        """Cycles to move ``words`` across this link."""
+        if words < 0:
+            raise ConfigError(f"negative transfer size {words}")
+        if words == 0:
+            return 0
+        return self.base_latency + ceil_div(words, self.words_per_cycle)
+
+
+def nonuniform_shares(
+    nop_latencies: list[int],
+    total_work_cycles: int,
+) -> list[float]:
+    """Work shares that equalise finish times across cores.
+
+    Core ``i`` finishes at ``share_i * total_work_cycles + nop_i``;
+    equalising gives ``share_i = (L - nop_i) / total_work_cycles`` with
+    ``L`` chosen so shares sum to one.  Cores whose NoP latency exceeds
+    ``L`` receive zero work (they cannot help).
+    """
+    if total_work_cycles <= 0:
+        raise ConfigError(f"total_work_cycles must be positive, got {total_work_cycles}")
+    if not nop_latencies:
+        raise ConfigError("need at least one core")
+    if any(lat < 0 for lat in nop_latencies):
+        raise ConfigError("NoP latencies must be non-negative")
+
+    # Water-filling: drop cores that cannot contribute, then solve L.
+    active = sorted(range(len(nop_latencies)), key=lambda i: nop_latencies[i])
+    while active:
+        lats = [nop_latencies[i] for i in active]
+        level = (total_work_cycles + sum(lats)) / len(active)
+        if level >= lats[-1]:
+            break
+        active.pop()  # the slowest active core gets no work
+    shares = [0.0] * len(nop_latencies)
+    for i in active:
+        shares[i] = (level - nop_latencies[i]) / total_work_cycles
+    return shares
+
+
+def finish_time_uniform(nop_latencies: list[int], total_work_cycles: int) -> float:
+    """Makespan with equal shares: slowest core dominates."""
+    if not nop_latencies:
+        raise ConfigError("need at least one core")
+    share = total_work_cycles / len(nop_latencies)
+    return max(share + lat for lat in nop_latencies)
+
+
+def finish_time_nonuniform(nop_latencies: list[int], total_work_cycles: int) -> float:
+    """Makespan with the equalising shares of :func:`nonuniform_shares`."""
+    shares = nonuniform_shares(nop_latencies, total_work_cycles)
+    return max(
+        share * total_work_cycles + (lat if share > 0 else 0)
+        for share, lat in zip(shares, nop_latencies)
+    )

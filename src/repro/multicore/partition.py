@@ -1,0 +1,216 @@
+"""Workload partitioning across tensor cores (paper Section III-A).
+
+Three schemes over a ``Pr x Pc`` core grid and a mapped GEMM (Sr, Sc, T):
+
+* **spatial** (Eq. 1, inherited from v2) — split Sr across Pr and Sc
+  across Pc.
+* **spatiotemporal 1** (Eq. 2) — split Sr across Pr and T across Pc.
+* **spatiotemporal 2** (Eq. 3) — split T across Pr and Sc across Pc.
+
+Each scheme trades compute cycles against memory footprint (Figure 3):
+splitting a spatial dimension duplicates the operand indexed by the
+*other* spatial dimension across the grid, while splitting T duplicates
+outputs (partial sums) instead.
+
+Footprints count L1 words across all cores (with duplication); the
+shared-L2 footprint deduplicates rows/columns of the grid (Figure 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.dataflow import (
+    Dataflow,
+    GemmMapping,
+    map_gemm,
+    spatial_runtime,
+    spatiotemporal1_runtime,
+    spatiotemporal2_runtime,
+)
+from repro.errors import MappingError
+from repro.topology.layer import GemmShape
+from repro.utils.math import ceil_div
+
+
+class PartitionScheme(enum.Enum):
+    """The three partitioning strategies."""
+
+    SPATIAL = "spatial"
+    SPATIOTEMPORAL_1 = "spatiotemporal_1"
+    SPATIOTEMPORAL_2 = "spatiotemporal_2"
+
+    @classmethod
+    def parse(cls, text: str) -> "PartitionScheme":
+        """Parse a scheme name (case-insensitive)."""
+        lowered = text.strip().lower()
+        for member in cls:
+            if member.value == lowered:
+                return member
+        raise MappingError(f"unknown partition scheme {text!r}")
+
+
+_RUNTIME_FN = {
+    PartitionScheme.SPATIAL: spatial_runtime,
+    PartitionScheme.SPATIOTEMPORAL_1: spatiotemporal1_runtime,
+    PartitionScheme.SPATIOTEMPORAL_2: spatiotemporal2_runtime,
+}
+
+
+def partition_runtime(
+    mapping: GemmMapping,
+    scheme: PartitionScheme,
+    rows: int,
+    cols: int,
+    partitions_row: int,
+    partitions_col: int,
+) -> int:
+    """Per-core runtime (all cores run in lockstep on equal shares)."""
+    return _RUNTIME_FN[scheme](mapping, rows, cols, partitions_row, partitions_col)
+
+
+def l1_footprint_words(
+    mapping: GemmMapping,
+    scheme: PartitionScheme,
+    partitions_row: int,
+    partitions_col: int,
+) -> int:
+    """Total words across all cores' L1s, duplication included.
+
+    Operand sizes in mapped terms: the row-fed operand is Sr x T, the
+    column-fed operand is T x Sc, outputs are Sr x Sc.
+    """
+    sr, sc, t = mapping.sr, mapping.sc, mapping.t
+    pr, pc = partitions_row, partitions_col
+    if pr < 1 or pc < 1:
+        raise MappingError(f"bad partition grid {pr}x{pc}")
+    if scheme is PartitionScheme.SPATIAL:
+        # Input slice shared along grid rows, weight slice along columns.
+        return sr * t * pc + t * sc * pr + sr * sc
+    if scheme is PartitionScheme.SPATIOTEMPORAL_1:
+        # Sr and T split; outputs (partials) duplicated across Pc.
+        return sr * t + t * sc * pr + sr * sc * pc
+    # SPATIOTEMPORAL_2: T and Sc split; outputs duplicated across Pr.
+    return sr * t * pc + t * sc + sr * sc * pr
+
+
+def l2_footprint_words(mapping: GemmMapping) -> int:
+    """Deduplicated footprint with a shared L2 (each operand held once)."""
+    sr, sc, t = mapping.sr, mapping.sc, mapping.t
+    return sr * t + t * sc + sr * sc
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """One evaluated (scheme, Pr, Pc) point."""
+
+    scheme: PartitionScheme
+    partitions_row: int
+    partitions_col: int
+    runtime_cycles: int
+    l1_footprint: int
+    l2_footprint: int
+
+    @property
+    def num_cores(self) -> int:
+        """Cores used by this partitioning."""
+        return self.partitions_row * self.partitions_col
+
+
+def _factor_pairs(num_cores: int) -> list[tuple[int, int]]:
+    if num_cores < 1:
+        raise MappingError(f"num_cores must be >= 1, got {num_cores}")
+    pairs = []
+    for pr in range(1, num_cores + 1):
+        if num_cores % pr == 0:
+            pairs.append((pr, num_cores // pr))
+    return pairs
+
+
+def enumerate_partitions(
+    shape: GemmShape,
+    dataflow: Dataflow,
+    scheme: PartitionScheme,
+    rows: int,
+    cols: int,
+    num_cores: int,
+) -> list[PartitionChoice]:
+    """All (Pr, Pc) factorisations of ``num_cores`` under one scheme."""
+    mapping = map_gemm(shape, dataflow)
+    choices = []
+    for pr, pc in _factor_pairs(num_cores):
+        choices.append(
+            PartitionChoice(
+                scheme=scheme,
+                partitions_row=pr,
+                partitions_col=pc,
+                runtime_cycles=partition_runtime(mapping, scheme, rows, cols, pr, pc),
+                l1_footprint=l1_footprint_words(mapping, scheme, pr, pc),
+                l2_footprint=l2_footprint_words(mapping),
+            )
+        )
+    return choices
+
+
+def best_partition(
+    shape: GemmShape,
+    dataflow: Dataflow,
+    scheme: PartitionScheme,
+    rows: int,
+    cols: int,
+    num_cores: int,
+    objective: str = "cycles",
+) -> PartitionChoice:
+    """Best (Pr, Pc) under an objective (Figure 3's two optimisations).
+
+    ``objective='cycles'`` minimises runtime (footprint as tie-break);
+    ``objective='footprint'`` minimises L1 footprint (runtime tie-break).
+    """
+    choices = enumerate_partitions(shape, dataflow, scheme, rows, cols, num_cores)
+    if objective == "cycles":
+        return min(choices, key=lambda c: (c.runtime_cycles, c.l1_footprint))
+    if objective == "footprint":
+        return min(choices, key=lambda c: (c.l1_footprint, c.runtime_cycles))
+    raise MappingError(f"unknown objective {objective!r}; expected cycles/footprint")
+
+
+def partition_tradeoff(
+    shape: GemmShape,
+    dataflow: Dataflow,
+    rows: int,
+    cols: int,
+    num_cores: int,
+    objective: str = "cycles",
+) -> dict[PartitionScheme, PartitionChoice]:
+    """The Figure-3 comparison: best point of each scheme for one config."""
+    return {
+        scheme: best_partition(shape, dataflow, scheme, rows, cols, num_cores, objective)
+        for scheme in PartitionScheme
+    }
+
+
+def partition_shape(
+    shape: GemmShape,
+    dataflow: Dataflow,
+    scheme: PartitionScheme,
+    partitions_row: int,
+    partitions_col: int,
+) -> GemmShape:
+    """The per-core sub-GEMM (ceiling share) for a partitioning.
+
+    The mapped (Sr, Sc, T) splits are translated back to M/N/K via the
+    mapping's dimension names so a per-core :class:`ComputeSimulator`
+    can run the sub-problem directly.
+    """
+    mapping = map_gemm(shape, dataflow)
+    if scheme is PartitionScheme.SPATIAL:
+        split = {mapping.sr_name: partitions_row, mapping.sc_name: partitions_col}
+    elif scheme is PartitionScheme.SPATIOTEMPORAL_1:
+        split = {mapping.sr_name: partitions_row, mapping.t_name: partitions_col}
+    else:
+        split = {mapping.t_name: partitions_row, mapping.sc_name: partitions_col}
+    dims = {"M": shape.m, "N": shape.n, "K": shape.k}
+    for name, parts in split.items():
+        dims[name] = ceil_div(dims[name], parts)
+    return GemmShape(m=dims["M"], n=dims["N"], k=dims["K"])

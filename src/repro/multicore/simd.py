@@ -1,0 +1,56 @@
+"""SIMD / vector unit model (paper Section III-C).
+
+Tensor cores pair the matrix unit with a vector unit for the non-GEMM
+work: activations, softmax, quantisation (Google TPU / Meta MTIA style).
+The latency per element is customisable per the paper ("the latency of
+SIMD units is customization as per the use case") — lookup-table
+approximations of exp/sigmoid/tanh cost more than a ReLU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.math import ceil_div
+
+#: Representative per-element latencies (cycles) for common vector ops.
+DEFAULT_OP_LATENCY = {
+    "relu": 1.0,
+    "add": 1.0,
+    "quantize": 2.0,
+    "dequantize": 2.0,
+    "exp": 4.0,
+    "sigmoid": 4.0,
+    "tanh": 4.0,
+    "softmax": 6.0,  # exp + reduce + divide
+    "layernorm": 5.0,
+}
+
+
+@dataclass(frozen=True)
+class SimdUnit:
+    """A vector unit: ``lanes`` elements per issue, configurable latency."""
+
+    lanes: int
+    latency_per_element: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ConfigError(f"SIMD lanes must be >= 1, got {self.lanes}")
+        if self.latency_per_element <= 0:
+            raise ConfigError("SIMD latency_per_element must be positive")
+
+    def cycles(self, elements: int, op: str | None = None) -> int:
+        """Cycles to apply one vector op over ``elements`` values.
+
+        With ``op`` given, the per-op table scales the unit's base
+        latency; otherwise the base latency applies directly.
+        """
+        if elements < 0:
+            raise ConfigError(f"negative element count {elements}")
+        if elements == 0:
+            return 0
+        scale = DEFAULT_OP_LATENCY.get(op, 1.0) if op else 1.0
+        issues = ceil_div(elements, self.lanes)
+        return max(1, round(issues * self.latency_per_element * scale))

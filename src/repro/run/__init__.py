@@ -1,0 +1,5 @@
+"""High-level drivers: one-call simulation runs and the CLI."""
+
+from repro.run.runner import SimulationOutputs, run_simulation
+
+__all__ = ["SimulationOutputs", "run_simulation"]

@@ -1,0 +1,101 @@
+"""Command-line interface mirroring SCALE-Sim's ``scale.py``.
+
+Usage::
+
+    scale-sim-repro -c configs/tpu.cfg -t topologies/resnet18.csv -p outputs
+    scale-sim-repro --preset google_tpu_v2 --model resnet18 --scale 8
+
+Either a ``.cfg`` file or a named preset selects the architecture, and
+either a topology CSV or a built-in model name selects the workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.parser import load_config
+from repro.config.presets import available_presets, get_preset
+from repro.run.runner import run_simulation
+from repro.topology.models import available_models, get_model
+from repro.topology.topology import Topology
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro",
+        description="SCALE-Sim v3 reproduction: cycle-accurate systolic simulation",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("-c", "--config", help="path to a SCALE-Sim style .cfg file")
+    source.add_argument(
+        "--preset",
+        choices=available_presets(),
+        help="named architecture preset",
+    )
+    workload = parser.add_mutually_exclusive_group(required=True)
+    workload.add_argument("-t", "--topology", help="path to a topology CSV")
+    workload.add_argument(
+        "--model",
+        choices=available_models(),
+        help="built-in workload model",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="divisor shrinking built-in model dimensions (default 1)",
+    )
+    parser.add_argument(
+        "-p",
+        "--output",
+        default="outputs",
+        help="output directory for reports (default ./outputs)",
+    )
+    parser.add_argument(
+        "--no-reports",
+        action="store_true",
+        help="simulate without writing report files",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = load_config(args.config) if args.config else get_preset(args.preset)
+    if args.topology:
+        topology = Topology.from_csv(args.topology)
+    else:
+        topology = get_model(args.model, scale=args.scale)
+
+    outputs = run_simulation(
+        config,
+        topology,
+        output_dir=args.output,
+        write_reports=not args.no_reports,
+    )
+    result = outputs.run_result
+    print(f"run:            {result.run_name}")
+    print(f"topology:       {result.topology_name} ({len(result.layers)} layers)")
+    print(f"compute cycles: {result.total_compute_cycles}")
+    print(f"stall cycles:   {result.total_stall_cycles}")
+    print(f"total cycles:   {result.total_cycles}")
+    if outputs.energy_report is not None:
+        print(f"energy:         {outputs.energy_report.total_mj:.4f} mJ")
+        print(f"avg power:      {outputs.energy_report.average_power_w:.3f} W")
+        print(f"EdP:            {outputs.edp:.3f} cycles*mJ")
+    if result.dram_stats is not None:
+        stats = result.dram_stats
+        print(
+            f"dram:           {stats.reads} reads, {stats.writes} writes, "
+            f"row-hit rate {stats.row_hit_rate * 100:.1f}%"
+        )
+    for path in outputs.report_paths:
+        print(f"report:         {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""One-call simulation driver: config + topology -> reports on disk.
+
+Mirrors SCALE-Sim's command-line behaviour: run every layer, then write
+the classic CSV reports plus whichever v3 feature reports the config
+enables (sparsity, energy, Accelergy YAML artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config.system import SystemConfig
+from repro.core.simulator import RunResult, Simulator
+from repro.energy.accelergy import AccelergyLite, EnergyReport
+from repro.energy.actions import ActionCounts, count_actions
+from repro.energy.yaml_gen import write_action_counts_yaml, write_architecture_yaml
+from repro.sparsity.report import write_sparse_report
+from repro.sparsity.sparse_compute import SparseComputeSimulator, SparseLayerResult
+from repro.topology.topology import Topology
+from repro.utils.csvio import write_csv
+
+
+@dataclass
+class SimulationOutputs:
+    """Everything a run produced."""
+
+    config: SystemConfig
+    run_result: RunResult
+    energy_report: EnergyReport | None = None
+    sparse_results: list[SparseLayerResult] = field(default_factory=list)
+    report_paths: list[Path] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles of the run."""
+        return self.run_result.total_cycles
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy if the energy feature was enabled, else 0."""
+        return self.energy_report.total_mj if self.energy_report else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (cycles x mJ), 0 without energy model."""
+        if self.energy_report is None:
+            return 0.0
+        return self.total_cycles * self.total_energy_mj
+
+
+def _write_energy_report(
+    outputs: SimulationOutputs, accelergy: AccelergyLite, out_dir: Path
+) -> Path:
+    header = [
+        "LayerID",
+        "LayerName",
+        "TotalCycles",
+        "DynamicEnergy(uJ)",
+        "LeakageEnergy(uJ)",
+        "TotalEnergy(uJ)",
+        "AvgPower(W)",
+        "EdP(cycles*mJ)",
+    ]
+    rows = []
+    for index, layer in enumerate(outputs.run_result.layers):
+        report = accelergy.estimate_layer(layer)
+        rows.append(
+            [
+                index,
+                layer.layer_name,
+                layer.total_cycles,
+                f"{report.dynamic_pj * 1e-6:.4f}",
+                f"{report.leakage_pj * 1e-6:.4f}",
+                f"{report.total_pj * 1e-6:.4f}",
+                f"{report.average_power_w:.4f}",
+                f"{report.edp_cycles_mj:.6f}",
+            ]
+        )
+    return write_csv(out_dir / "ENERGY_REPORT.csv", header, rows)
+
+
+def run_simulation(
+    config: SystemConfig,
+    topology: Topology,
+    output_dir: str | Path | None = None,
+    write_reports: bool = True,
+) -> SimulationOutputs:
+    """Run a full simulation; optionally write all reports to disk."""
+    simulator = Simulator(config)
+    run_result = simulator.run(topology)
+    outputs = SimulationOutputs(config=config, run_result=run_result)
+
+    out_dir = Path(output_dir or config.run.output_dir) / config.run.run_name
+
+    if config.sparsity.sparsity_support:
+        sparse_sim = SparseComputeSimulator(
+            array_rows=config.arch.array_rows,
+            array_cols=config.arch.array_cols,
+            representation=config.sparsity.sparse_representation,
+            word_bits=config.arch.word_bytes * 8,
+            ifmap_sram_words=config.arch.ifmap_sram_words(),
+            ofmap_sram_words=config.arch.ofmap_sram_words(),
+            seed=config.sparsity.random_seed,
+        )
+        outputs.sparse_results = [
+            sparse_sim.simulate_layer(
+                layer,
+                rowwise=config.sparsity.optimized_mapping,
+                block_size=config.sparsity.block_size,
+                with_fold_specs=False,
+            )
+            for layer in topology
+        ]
+
+    energy_engine: AccelergyLite | None = None
+    if config.energy.enabled:
+        energy_engine = AccelergyLite(config.arch, config.energy)
+        outputs.energy_report = energy_engine.estimate_run(run_result)
+
+    if write_reports:
+        outputs.report_paths = run_result.write_reports(out_dir.parent)
+        if outputs.sparse_results:
+            outputs.report_paths.append(write_sparse_report(outputs.sparse_results, out_dir))
+        if energy_engine is not None and outputs.energy_report is not None:
+            outputs.report_paths.append(_write_energy_report(outputs, energy_engine, out_dir))
+            outputs.report_paths.append(
+                write_architecture_yaml(config.arch, config.energy, out_dir)
+            )
+            merged = ActionCounts()
+            for layer in run_result.layers:
+                merged.merge(count_actions(layer, config.energy))
+            outputs.report_paths.append(write_action_counts_yaml(merged, out_dir))
+    return outputs

@@ -1,0 +1,28 @@
+"""N:M structured sparsity support (paper Section IV)."""
+
+from repro.sparsity.pattern import SparsePattern, layerwise_pattern, rowwise_pattern
+from repro.sparsity.formats import (
+    blocked_ellpack_storage,
+    csc_storage,
+    csr_storage,
+    dense_storage,
+    storage_for_representation,
+    StorageEstimate,
+)
+from repro.sparsity.sparse_compute import SparseComputeSimulator, SparseLayerResult
+from repro.sparsity.report import write_sparse_report
+
+__all__ = [
+    "SparsePattern",
+    "layerwise_pattern",
+    "rowwise_pattern",
+    "blocked_ellpack_storage",
+    "csc_storage",
+    "csr_storage",
+    "dense_storage",
+    "storage_for_representation",
+    "StorageEstimate",
+    "SparseComputeSimulator",
+    "SparseLayerResult",
+    "write_sparse_report",
+]

@@ -1,0 +1,46 @@
+"""SPARSE_REPORT.csv emission (paper Section IV-B, Step 3)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sparsity.sparse_compute import SparseLayerResult
+from repro.utils.csvio import write_csv
+
+
+def write_sparse_report(results: list[SparseLayerResult], out_dir: str | Path) -> Path:
+    """Write SPARSE_REPORT.csv: storage and cycle metrics per layer."""
+    header = [
+        "LayerID",
+        "LayerName",
+        "SparsityRepresentation",
+        "BlockSize",
+        "Density%",
+        "OriginalFilterStorage(kB)",
+        "NewFilterStorage(kB)",
+        "MetadataStorage(kB)",
+        "CompressionRatio",
+        "DenseComputeCycles",
+        "SparseComputeCycles",
+        "Speedup",
+    ]
+    rows = []
+    for index, result in enumerate(results):
+        meta_kb = result.compressed_storage.metadata_bits / 8 / 1024
+        rows.append(
+            [
+                index,
+                result.layer_name,
+                result.representation,
+                result.block_size,
+                f"{result.pattern.density * 100:.2f}",
+                f"{result.dense_storage.total_kb:.2f}",
+                f"{result.compressed_storage.total_kb:.2f}",
+                f"{meta_kb:.2f}",
+                f"{result.storage_saving:.3f}",
+                result.dense_compute_cycles,
+                result.sparse_compute_cycles,
+                f"{result.speedup:.3f}",
+            ]
+        )
+    return write_csv(Path(out_dir) / "SPARSE_REPORT.csv", header, rows)

@@ -1,0 +1,15 @@
+"""Workload topologies: layer types, CSV io, and built-in model zoos."""
+
+from repro.topology.layer import ConvLayer, GemmLayer, GemmShape, Layer
+from repro.topology.topology import Topology
+from repro.topology.models import available_models, get_model
+
+__all__ = [
+    "ConvLayer",
+    "GemmLayer",
+    "GemmShape",
+    "Layer",
+    "Topology",
+    "available_models",
+    "get_model",
+]

@@ -1,0 +1,226 @@
+"""Layer descriptions and their lowering to GEMM.
+
+SCALE-Sim models two operator kinds:
+
+* convolutions, described by ifmap/filter geometry (the classic topology
+  CSV format), and
+* GEMMs, described directly by (M, N, K).
+
+Both lower to a :class:`GemmShape`.  Following the paper's Table II
+convention, the GEMM is ``O[M, N] = W[M, K] @ X[K, N]`` where ``W`` is
+the weight/filter operand and ``X`` the input/ifmap operand; for a
+convolution ``M = number of filters``, ``N = ofmap pixels`` and
+``K = filter window x channels``.  This is the only reading under which
+"weight stationary" (Sr=K, Sc=M) actually pins the weights spatially.
+
+Sparsity rides along as an optional N:M ratio per layer (the topology
+file's ``SparsitySupport`` column in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import SparsityError, TopologyError
+
+
+@dataclass(frozen=True)
+class SparsityRatio:
+    """An N:M structured-sparsity ratio (N non-zeros per M-element block)."""
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise SparsityError(f"M must be >= 1, got {self.m}")
+        if not 0 <= self.n <= self.m:
+            raise SparsityError(f"N must be in [0, {self.m}], got {self.n}")
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that are non-zero."""
+        return self.n / self.m
+
+    @property
+    def is_dense(self) -> bool:
+        """True when the ratio keeps every element (N == M)."""
+        return self.n == self.m
+
+    @property
+    def is_computationally_advantageous(self) -> bool:
+        """The paper constrains useful sparsity to N <= M/2 (Section IV-A2)."""
+        return 2 * self.n <= self.m
+
+    @classmethod
+    def parse(cls, text: str) -> "SparsityRatio":
+        """Parse ``"N:M"`` notation, e.g. ``"2:4"``."""
+        parts = text.strip().split(":")
+        if len(parts) != 2:
+            raise SparsityError(f"expected 'N:M' sparsity ratio, got {text!r}")
+        try:
+            n, m = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise SparsityError(f"non-integer sparsity ratio {text!r}") from exc
+        return cls(n, m)
+
+    def __str__(self) -> str:
+        return f"{self.n}:{self.m}"
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """A GEMM ``O[M, N] = W[M, K] @ X[K, N]`` (weights W, inputs X)."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        for name in ("m", "n", "k"):
+            value = getattr(self, name)
+            if value < 1:
+                raise TopologyError(f"GEMM dim {name.upper()} must be >= 1, got {value}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the dense GEMM."""
+        return self.m * self.n * self.k
+
+    @property
+    def ifmap_words(self) -> int:
+        """Words in the X operand (activations, K x N)."""
+        return self.k * self.n
+
+    @property
+    def filter_words(self) -> int:
+        """Words in the W operand (weights, M x K)."""
+        return self.m * self.k
+
+    @property
+    def ofmap_words(self) -> int:
+        """Words in the output operand."""
+        return self.m * self.n
+
+    @property
+    def total_operand_words(self) -> int:
+        """Total words touched by the dense GEMM (A + B + O)."""
+        return self.ifmap_words + self.filter_words + self.ofmap_words
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolution layer in SCALE-Sim's topology CSV terms."""
+
+    name: str
+    ifmap_h: int
+    ifmap_w: int
+    filter_h: int
+    filter_w: int
+    channels: int
+    num_filters: int
+    stride_h: int = 1
+    stride_w: int = 1
+    sparsity: SparsityRatio | None = None
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "ifmap_h",
+            "ifmap_w",
+            "filter_h",
+            "filter_w",
+            "channels",
+            "num_filters",
+            "stride_h",
+            "stride_w",
+        ):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise TopologyError(
+                    f"layer {self.name!r}: {field_name} must be >= 1, got {value}"
+                )
+        if self.filter_h > self.ifmap_h or self.filter_w > self.ifmap_w:
+            raise TopologyError(
+                f"layer {self.name!r}: filter ({self.filter_h}x{self.filter_w}) "
+                f"larger than ifmap ({self.ifmap_h}x{self.ifmap_w})"
+            )
+
+    @property
+    def ofmap_h(self) -> int:
+        """Output feature-map height (valid convolution, no padding)."""
+        return (self.ifmap_h - self.filter_h) // self.stride_h + 1
+
+    @property
+    def ofmap_w(self) -> int:
+        """Output feature-map width (valid convolution, no padding)."""
+        return (self.ifmap_w - self.filter_w) // self.stride_w + 1
+
+    @property
+    def window_size(self) -> int:
+        """Elements in one convolution window (filter volume)."""
+        return self.filter_h * self.filter_w * self.channels
+
+    @property
+    def num_ofmap_px(self) -> int:
+        """Output pixels per channel (rows of the lowered GEMM)."""
+        return self.ofmap_h * self.ofmap_w
+
+    def to_gemm(self) -> GemmShape:
+        """Lower to the im2col GEMM (M = filters, N = ofmap pixels)."""
+        return GemmShape(m=self.num_filters, n=self.num_ofmap_px, k=self.window_size)
+
+    @property
+    def ifmap_words(self) -> int:
+        """Words in the raw (pre-im2col) input feature map."""
+        return self.ifmap_h * self.ifmap_w * self.channels
+
+    @property
+    def filter_words(self) -> int:
+        """Words in the filter tensor."""
+        return self.window_size * self.num_filters
+
+    @property
+    def ofmap_words(self) -> int:
+        """Words in the output feature map."""
+        return self.num_ofmap_px * self.num_filters
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """A bare GEMM layer (transformer blocks, FC layers).
+
+    ``m`` is the weight-output dimension (e.g. output features), ``n``
+    the activation/token dimension, ``k`` the reduction dimension.
+    """
+
+    name: str
+    m: int
+    n: int
+    k: int
+    sparsity: SparsityRatio | None = None
+
+    def __post_init__(self) -> None:
+        GemmShape(self.m, self.n, self.k)  # validates dims
+
+    def to_gemm(self) -> GemmShape:
+        """The layer's GEMM shape (identity lowering)."""
+        return GemmShape(self.m, self.n, self.k)
+
+    @property
+    def ifmap_words(self) -> int:
+        """Words in the X operand (K x N)."""
+        return self.k * self.n
+
+    @property
+    def filter_words(self) -> int:
+        """Words in the W operand (M x K)."""
+        return self.m * self.k
+
+    @property
+    def ofmap_words(self) -> int:
+        """Words in the output."""
+        return self.m * self.n
+
+
+Layer = Union[ConvLayer, GemmLayer]

@@ -1,0 +1,242 @@
+"""Built-in workload topologies used by the paper's evaluation.
+
+The paper evaluates on AlexNet, ResNet-18, ResNet-50, an RCNN backbone,
+and ViT variants (ViT-S, ViT-base, ViT-L).  CNNs use the classic conv
+topology dialect; transformers are expressed directly as GEMM layers
+(per-token projections with a 197-token sequence, the standard 224x224 /
+patch-16 ViT setting).
+
+Every model factory accepts a ``scale`` divisor that shrinks spatial
+dimensions (CNNs) or sequence/hidden sizes (ViTs) so tests and smoke
+benches can run the full pipeline in milliseconds while benchmarks use
+``scale=1`` for paper-fidelity shapes.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.topology import Topology
+
+
+def _scaled(value: int, scale: int, floor: int = 1) -> int:
+    return max(floor, value // scale)
+
+
+def _conv(
+    name: str,
+    ifmap: int,
+    kernel: int,
+    channels: int,
+    filters: int,
+    stride: int = 1,
+    scale: int = 1,
+) -> ConvLayer:
+    side = max(_scaled(ifmap, scale), kernel)
+    return ConvLayer(
+        name=name,
+        ifmap_h=side,
+        ifmap_w=side,
+        filter_h=kernel,
+        filter_w=kernel,
+        channels=channels,
+        num_filters=filters,
+        stride_h=stride,
+        stride_w=stride,
+    )
+
+
+def alexnet(scale: int = 1) -> Topology:
+    """AlexNet's five convolutions plus the three FC layers as 1x1 convs."""
+    layers = [
+        _conv("conv1", 227, 11, 3, 96, stride=4, scale=scale),
+        _conv("conv2", 27, 5, 96, 256, scale=scale),
+        _conv("conv3", 13, 3, 256, 384, scale=scale),
+        _conv("conv4", 13, 3, 384, 384, scale=scale),
+        _conv("conv5", 13, 3, 384, 256, scale=scale),
+        GemmLayer("fc6", m=4096, n=1, k=_scaled(9216, scale, floor=64)),
+        GemmLayer("fc7", m=4096, n=1, k=4096),
+        GemmLayer("fc8", m=1000, n=1, k=4096),
+    ]
+    return Topology("alexnet", layers)
+
+
+def resnet18(scale: int = 1) -> Topology:
+    """ResNet-18 convolution stack (valid-padding approximation) + FC."""
+    layers = [
+        _conv("conv1", 224, 7, 3, 64, stride=2, scale=scale),
+        _conv("conv2_1a", 56, 3, 64, 64, scale=scale),
+        _conv("conv2_1b", 56, 3, 64, 64, scale=scale),
+        _conv("conv2_2a", 56, 3, 64, 64, scale=scale),
+        _conv("conv2_2b", 56, 3, 64, 64, scale=scale),
+        _conv("conv3_1a", 56, 3, 64, 128, stride=2, scale=scale),
+        _conv("conv3_1b", 28, 3, 128, 128, scale=scale),
+        _conv("conv3_2a", 28, 3, 128, 128, scale=scale),
+        _conv("conv3_2b", 28, 3, 128, 128, scale=scale),
+        _conv("conv4_1a", 28, 3, 128, 256, stride=2, scale=scale),
+        _conv("conv4_1b", 14, 3, 256, 256, scale=scale),
+        _conv("conv4_2a", 14, 3, 256, 256, scale=scale),
+        _conv("conv4_2b", 14, 3, 256, 256, scale=scale),
+        _conv("conv5_1a", 14, 3, 256, 512, stride=2, scale=scale),
+        _conv("conv5_1b", 7, 3, 512, 512, scale=scale),
+        _conv("conv5_2a", 7, 3, 512, 512, scale=scale),
+        _conv("conv5_2b", 7, 3, 512, 512, scale=scale),
+        GemmLayer("fc", m=1000, n=1, k=512),
+    ]
+    return Topology("resnet18", layers)
+
+
+def resnet50(scale: int = 1) -> Topology:
+    """ResNet-50 with a representative bottleneck per stage group.
+
+    The full 53-conv stack simulates identically per repeated block, so
+    the zoo carries one bottleneck (1x1 -> 3x3 -> 1x1) per distinct shape
+    plus the stem and FC — the same simplification SCALE-Sim's shipped
+    topologies make for long networks.
+    """
+    layers = [
+        _conv("conv1", 224, 7, 3, 64, stride=2, scale=scale),
+        _conv("conv2_r", 56, 1, 64, 64, scale=scale),
+        _conv("conv2_s", 56, 3, 64, 64, scale=scale),
+        _conv("conv2_e", 56, 1, 64, 256, scale=scale),
+        _conv("conv3_r", 56, 1, 256, 128, stride=2, scale=scale),
+        _conv("conv3_s", 28, 3, 128, 128, scale=scale),
+        _conv("conv3_e", 28, 1, 128, 512, scale=scale),
+        _conv("conv4_r", 28, 1, 512, 256, stride=2, scale=scale),
+        _conv("conv4_s", 14, 3, 256, 256, scale=scale),
+        _conv("conv4_e", 14, 1, 256, 1024, scale=scale),
+        _conv("conv5_r", 14, 1, 1024, 512, stride=2, scale=scale),
+        _conv("conv5_s", 7, 3, 512, 512, scale=scale),
+        _conv("conv5_e", 7, 1, 512, 2048, scale=scale),
+        GemmLayer("fc", m=1000, n=1, k=2048),
+    ]
+    return Topology("resnet50", layers)
+
+
+def rcnn(scale: int = 1) -> Topology:
+    """A Fast-RCNN-style backbone: VGG-ish convs + region FC head."""
+    layers = [
+        _conv("conv1_1", 224, 3, 3, 64, scale=scale),
+        _conv("conv1_2", 224, 3, 64, 64, scale=scale),
+        _conv("conv2_1", 112, 3, 64, 128, scale=scale),
+        _conv("conv2_2", 112, 3, 128, 128, scale=scale),
+        _conv("conv3_1", 56, 3, 128, 256, scale=scale),
+        _conv("conv3_2", 56, 3, 256, 256, scale=scale),
+        _conv("conv4_1", 28, 3, 256, 512, scale=scale),
+        _conv("conv4_2", 28, 3, 512, 512, scale=scale),
+        _conv("conv5_1", 14, 3, 512, 512, scale=scale),
+        GemmLayer("roi_fc6", m=4096, n=_scaled(128, scale), k=25088),
+        GemmLayer("roi_fc7", m=4096, n=_scaled(128, scale), k=4096),
+        GemmLayer("cls_score", m=21, n=_scaled(128, scale), k=4096),
+    ]
+    return Topology("rcnn", layers)
+
+
+def _vit(name: str, seq: int, dim: int, mlp: int, blocks: int, scale: int) -> Topology:
+    seq = _scaled(seq, scale, floor=8)
+    dim = _scaled(dim, scale, floor=32)
+    mlp = _scaled(mlp, scale, floor=64)
+    layers: list[GemmLayer] = []
+    for block in range(blocks):
+        prefix = f"block{block}"
+        layers.extend(
+            [
+                GemmLayer(f"{prefix}_qkv", m=3 * dim, n=seq, k=dim),
+                GemmLayer(f"{prefix}_attn_qk", m=seq, n=seq, k=dim),
+                GemmLayer(f"{prefix}_attn_v", m=seq, n=dim, k=seq),
+                GemmLayer(f"{prefix}_proj", m=dim, n=seq, k=dim),
+                GemmLayer(f"{prefix}_ff1", m=mlp, n=seq, k=dim),
+                GemmLayer(f"{prefix}_ff2", m=dim, n=seq, k=mlp),
+            ]
+        )
+    return Topology(name, layers)
+
+
+def vit_small(scale: int = 1, blocks: int = 2) -> Topology:
+    """ViT-S (384-dim, 1536 MLP); ``blocks`` of the 12 are materialised."""
+    return _vit("vit_s", seq=197, dim=384, mlp=1536, blocks=blocks, scale=scale)
+
+
+def vit_base(scale: int = 1, blocks: int = 2) -> Topology:
+    """ViT-base (768-dim, 3072 MLP)."""
+    return _vit("vit_base", seq=197, dim=768, mlp=3072, blocks=blocks, scale=scale)
+
+
+def vit_large(scale: int = 1, blocks: int = 2) -> Topology:
+    """ViT-L (1024-dim, 4096 MLP)."""
+    return _vit("vit_l", seq=197, dim=1024, mlp=4096, blocks=blocks, scale=scale)
+
+
+def vit_ff_layers(scale: int = 1) -> Topology:
+    """Just the feed-forward GEMMs of a ViT-base block (Figure 8's workload)."""
+    seq = _scaled(197, scale, floor=8)
+    dim = _scaled(768, scale, floor=32)
+    mlp = _scaled(3072, scale, floor=64)
+    return Topology(
+        "vit_ff",
+        [
+            GemmLayer("ff1", m=mlp, n=seq, k=dim),
+            GemmLayer("ff2", m=dim, n=seq, k=mlp),
+        ],
+    )
+
+
+def toy_conv() -> Topology:
+    """A tiny two-conv network for unit tests and the quickstart example."""
+    return Topology(
+        "toy_conv",
+        [
+            ConvLayer("c1", ifmap_h=8, ifmap_w=8, filter_h=3, filter_w=3, channels=3, num_filters=8),
+            ConvLayer("c2", ifmap_h=6, ifmap_w=6, filter_h=3, filter_w=3, channels=8, num_filters=16),
+        ],
+    )
+
+
+def toy_gemm() -> Topology:
+    """A tiny pair of GEMMs for unit tests."""
+    return Topology(
+        "toy_gemm",
+        [
+            GemmLayer("g1", m=16, n=16, k=16),
+            GemmLayer("g2", m=32, n=8, k=24),
+        ],
+    )
+
+
+_MODELS: dict[str, Callable[..., Topology]] = {
+    "alexnet": alexnet,
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "rcnn": rcnn,
+    "vit_s": vit_small,
+    "vit_base": vit_base,
+    "vit_l": vit_large,
+    "vit_ff": vit_ff_layers,
+    "toy_conv": toy_conv,
+    "toy_gemm": toy_gemm,
+}
+
+
+def available_models() -> tuple[str, ...]:
+    """Names of all built-in workload topologies."""
+    return tuple(sorted(_MODELS))
+
+
+def get_model(name: str, **kwargs: int) -> Topology:
+    """Build a named topology, forwarding ``scale``/``blocks`` kwargs.
+
+    Kwargs a model does not take (e.g. ``scale`` for the toy models)
+    are silently dropped, so callers can pass a uniform parameter set
+    across the zoo.
+    """
+    try:
+        factory = _MODELS[name]
+    except KeyError as exc:
+        raise TopologyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from exc
+    accepted = inspect.signature(factory).parameters
+    return factory(**{k: v for k, v in kwargs.items() if k in accepted})

@@ -1,0 +1,21 @@
+"""Shared utility helpers (integer math, CSV/YAML io, deterministic RNG)."""
+
+from repro.utils.math import (
+    ceil_div,
+    clamp,
+    ilog2_ceil,
+    is_power_of_two,
+    next_power_of_two,
+    prod,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "ilog2_ceil",
+    "is_power_of_two",
+    "next_power_of_two",
+    "prod",
+    "make_rng",
+]

@@ -1,0 +1,62 @@
+"""Small integer-math helpers used across the simulator.
+
+These are deliberately tiny, pure functions: the cycle-accounting code
+calls them in tight loops, and keeping them branch-light keeps the hot
+paths readable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division.
+
+    Raises:
+        ValueError: if ``denominator`` is not positive or ``numerator`` is
+            negative (cycle counts and fold counts are never negative).
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (empty product is 1)."""
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"empty clamp range [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (value must be positive)."""
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def ilog2_ceil(value: int) -> int:
+    """Ceiling of log2, as used for metadata bit-width computation.
+
+    ``ilog2_ceil(1) == 0`` — a block of one element needs no metadata bits.
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    return math.ceil(math.log2(value)) if value > 1 else 0

@@ -1,0 +1,229 @@
+"""Minimal YAML emission and parsing for Accelergy-compatible artifacts.
+
+Accelergy consumes YAML architecture descriptions and action-count files.
+This package has no external YAML dependency, so we provide a small
+emitter covering the subset we generate: nested mappings, lists of
+mappings, scalars (str/int/float/bool/None).  The output is valid YAML
+and is also parseable by :func:`parse_simple_yaml` for round-trip tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+_INDENT = "  "
+
+
+def _format_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+
+    def _looks_numeric(candidate: str) -> bool:
+        try:
+            float(candidate)
+        except ValueError:
+            return False
+        return True
+
+    needs_quotes = (
+        text == ""
+        or text != text.strip()
+        or any(ch in text for ch in ":#{}[],&*!|>'\"%@`")
+        or text.lower() in {"null", "true", "false", "yes", "no"}
+        or _looks_numeric(text)
+    )
+    if needs_quotes:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def _is_container(value: Any) -> bool:
+    return isinstance(value, (Mapping, list, tuple))
+
+
+def _empty_marker(value: Any) -> str:
+    return "{}" if isinstance(value, Mapping) else "[]"
+
+
+def _emit(value: Any, indent: int, lines: list[str]) -> None:
+    prefix = _INDENT * indent
+    if isinstance(value, Mapping):
+        for key, item in value.items():
+            if _is_container(item) and item:
+                lines.append(f"{prefix}{key}:")
+                _emit(item, indent + 1, lines)
+            elif _is_container(item):
+                lines.append(f"{prefix}{key}: {_empty_marker(item)}")
+            else:
+                lines.append(f"{prefix}{key}: {_format_scalar(item)}")
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            if isinstance(item, Mapping) and item:
+                first = True
+                for key, sub in item.items():
+                    marker = f"{prefix}- " if first else f"{prefix}{_INDENT}"
+                    first = False
+                    if _is_container(sub) and sub:
+                        lines.append(f"{marker}{key}:")
+                        _emit(sub, indent + 2, lines)
+                    elif _is_container(sub):
+                        lines.append(f"{marker}{key}: {_empty_marker(sub)}")
+                    else:
+                        lines.append(f"{marker}{key}: {_format_scalar(sub)}")
+            else:
+                lines.append(f"{prefix}- {_format_scalar(item)}")
+        return
+    lines.append(f"{prefix}{_format_scalar(value)}")
+
+
+def dump_yaml(data: Mapping[str, Any]) -> str:
+    """Serialise a nested mapping to a YAML string."""
+    if not data:
+        return "{}\n"
+    lines: list[str] = []
+    _emit(data, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def write_yaml(path: str | Path, data: Mapping[str, Any]) -> Path:
+    """Serialise ``data`` and write it to ``path`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dump_yaml(data))
+    return path
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    if text in {"null", "~", ""}:
+        return None
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == "{}":
+        return {}
+    if text == "[]":
+        return []
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+class _Cursor:
+    """Line cursor over (indent, content) pairs for recursive descent."""
+
+    def __init__(self, lines: list[tuple[int, str]]) -> None:
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> tuple[int, str] | None:
+        if self.pos >= len(self.lines):
+            return None
+        return self.lines[self.pos]
+
+    def advance(self) -> tuple[int, str]:
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+
+def _parse_block(cursor: _Cursor, indent: int) -> Any:
+    """Parse the block whose lines all have indentation >= ``indent``."""
+    head = cursor.peek()
+    if head is None:
+        return None
+    if head[1].startswith("- "):
+        return _parse_list(cursor, indent)
+    return _parse_mapping(cursor, indent)
+
+
+def _parse_list(cursor: _Cursor, indent: int) -> list[Any]:
+    items: list[Any] = []
+    while True:
+        head = cursor.peek()
+        if head is None or head[0] < indent or not head[1].startswith("- "):
+            return items
+        line_indent, content = cursor.advance()
+        body = content[2:].strip()
+        if ":" in body:
+            # Inline first key of a mapping item; remaining keys sit at
+            # the column just past the "- " marker (indent + 1).
+            key, _, rest = body.partition(":")
+            item: dict[str, Any] = {}
+            if rest.strip():
+                item[key.strip()] = _parse_scalar(rest)
+            else:
+                item[key.strip()] = _parse_block(cursor, line_indent + 2)
+            nxt = cursor.peek()
+            if nxt is not None and nxt[0] == line_indent + 1 and not nxt[1].startswith("- "):
+                rest_map = _parse_mapping(cursor, line_indent + 1)
+                item.update(rest_map)
+            items.append(item)
+        else:
+            items.append(_parse_scalar(body))
+
+
+def _parse_mapping(cursor: _Cursor, indent: int) -> dict[str, Any]:
+    mapping: dict[str, Any] = {}
+    while True:
+        head = cursor.peek()
+        if head is None or head[0] < indent or head[1].startswith("- "):
+            return mapping
+        line_indent, content = cursor.advance()
+        if line_indent != indent:
+            raise ValueError(f"unexpected indentation at: {content!r}")
+        key, sep, rest = content.partition(":")
+        if not sep:
+            raise ValueError(f"expected 'key: value' line, got {content!r}")
+        key = key.strip()
+        if rest.strip():
+            mapping[key] = _parse_scalar(rest)
+        else:
+            nxt = cursor.peek()
+            if nxt is None or nxt[0] <= indent:
+                mapping[key] = None
+            else:
+                mapping[key] = _parse_block(cursor, nxt[0])
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset produced by :func:`dump_yaml`.
+
+    Supports nested mappings and lists of scalars or flat mappings.  This
+    is intentionally not a general YAML parser; it exists so tests can
+    round-trip the artifacts we emit.
+    """
+    stripped = text.strip()
+    if stripped in {"", "{}"}:
+        return {}
+    lines: list[tuple[int, str]] = []
+    for raw in text.splitlines():
+        if not raw.strip() or raw.lstrip().startswith("#"):
+            continue
+        indent_chars = len(raw) - len(raw.lstrip(" "))
+        if indent_chars % len(_INDENT) != 0:
+            raise ValueError(f"indentation must be multiples of two spaces: {raw!r}")
+        lines.append((indent_chars // len(_INDENT), raw.strip()))
+    cursor = _Cursor(lines)
+    result = _parse_block(cursor, 0)
+    if cursor.peek() is not None:
+        raise ValueError(f"trailing unparsed content at line {cursor.pos}")
+    return result

@@ -1,0 +1,130 @@
+"""Unit tests for the .cfg parser."""
+
+import pytest
+
+from repro.config.parser import load_config, parse_config_text
+from repro.errors import ConfigError
+
+FULL_CFG = """
+[general]
+run_name = my_run
+output_dir = out
+
+[architecture_presets]
+ArrayHeight = 64
+ArrayWidth = 16
+IfmapSramSzkB = 512
+FilterSramSzkB = 128
+OfmapSramSzkB = 64
+Dataflow = ws
+Bandwidth = 20
+WordBytes = 2
+SimdLanes = 32
+
+[sparsity]
+SparsitySupport = true
+OptimizedMapping = true
+SparseRep = ellpack_block
+BlockSize = 8
+
+[memory]
+Enabled = true
+Technology = hbm
+Channels = 4
+ReadQueueEntries = 256
+WriteQueueEntries = 64
+
+[layout]
+Enabled = true
+NumBanks = 8
+BandwidthPerBank = 8
+
+[energy]
+Enabled = true
+TechnologyNm = 45
+ClockGHz = 0.8
+
+[multicore]
+Enabled = true
+PartitionsRow = 2
+PartitionsCol = 2
+PartitionScheme = spatiotemporal_1
+NopHops = 0, 1, 1, 2
+"""
+
+
+class TestParseFullConfig:
+    def test_general(self):
+        cfg = parse_config_text(FULL_CFG)
+        assert cfg.run.run_name == "my_run"
+        assert cfg.run.output_dir == "out"
+
+    def test_architecture(self):
+        arch = parse_config_text(FULL_CFG).arch
+        assert (arch.array_rows, arch.array_cols) == (64, 16)
+        assert arch.dataflow == "ws"
+        assert arch.simd_lanes == 32
+
+    def test_sparsity(self):
+        sp = parse_config_text(FULL_CFG).sparsity
+        assert sp.sparsity_support and sp.optimized_mapping
+        assert sp.block_size == 8
+
+    def test_memory(self):
+        dram = parse_config_text(FULL_CFG).dram
+        assert dram.enabled
+        assert dram.technology == "hbm"
+        assert dram.channels == 4
+        assert dram.read_queue_entries == 256
+
+    def test_layout(self):
+        layout = parse_config_text(FULL_CFG).layout
+        assert layout.enabled and layout.num_banks == 8
+
+    def test_energy(self):
+        energy = parse_config_text(FULL_CFG).energy
+        assert energy.enabled
+        assert energy.technology_nm == 45
+        assert energy.clock_ghz == pytest.approx(0.8)
+
+    def test_multicore(self):
+        mc = parse_config_text(FULL_CFG).multicore
+        assert mc.enabled and mc.num_cores == 4
+        assert mc.partition_scheme == "spatiotemporal_1"
+        assert mc.nop_hops == (0, 1, 1, 2)
+
+
+class TestDefaultsAndErrors:
+    def test_empty_config_gives_defaults(self):
+        cfg = parse_config_text("")
+        assert cfg.arch.array_rows == 32
+        assert not cfg.dram.enabled
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[bogus]\nx = 1\n")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[architecture_presets]\nNotAKnob = 5\n")
+
+    def test_bad_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[architecture_presets]\nArrayHeight = many\n")
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config_text("[memory]\nEnabled = maybe\n")
+
+    def test_case_insensitive_keys(self):
+        cfg = parse_config_text("[architecture_presets]\narrayheight = 8\n")
+        assert cfg.arch.array_rows == 8
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "c.cfg"
+        path.write_text(FULL_CFG)
+        assert load_config(path).run.run_name == "my_run"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path / "nope.cfg")

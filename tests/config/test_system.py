@@ -1,0 +1,138 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config.system import (
+    ArchitectureConfig,
+    DramConfig,
+    EnergyConfig,
+    LayoutConfig,
+    MulticoreConfig,
+    RunConfig,
+    SparsityConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestArchitectureConfig:
+    def test_defaults_valid(self):
+        arch = ArchitectureConfig()
+        assert arch.array_rows == 32
+        assert arch.dataflow == "os"
+
+    def test_num_pes(self):
+        assert ArchitectureConfig(array_rows=8, array_cols=16).num_pes == 128
+
+    def test_sram_words_conversion(self):
+        arch = ArchitectureConfig(ifmap_sram_kb=2, word_bytes=2)
+        assert arch.ifmap_sram_words() == 1024
+
+    def test_with_array(self):
+        arch = ArchitectureConfig().with_array(64, 128)
+        assert (arch.array_rows, arch.array_cols) == (64, 128)
+
+    def test_with_dataflow(self):
+        assert ArchitectureConfig().with_dataflow("ws").dataflow == "ws"
+
+    @pytest.mark.parametrize("field,value", [
+        ("array_rows", 0),
+        ("array_cols", -1),
+        ("ifmap_sram_kb", 0),
+        ("bandwidth_words", 0),
+        ("word_bytes", 0),
+        ("simd_lanes", -1),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig(**{field: value})
+
+    def test_invalid_dataflow_rejected(self):
+        with pytest.raises(ConfigError):
+            ArchitectureConfig(dataflow="nope")
+
+
+class TestSparsityConfig:
+    def test_defaults(self):
+        cfg = SparsityConfig()
+        assert not cfg.sparsity_support
+        assert cfg.sparse_representation == "ellpack_block"
+
+    def test_rowwise_requires_support(self):
+        with pytest.raises(ConfigError):
+            SparsityConfig(sparsity_support=False, optimized_mapping=True)
+
+    def test_rowwise_with_support_ok(self):
+        cfg = SparsityConfig(sparsity_support=True, optimized_mapping=True, block_size=8)
+        assert cfg.block_size == 8
+
+    def test_bad_representation(self):
+        with pytest.raises(ConfigError):
+            SparsityConfig(sparse_representation="coo")
+
+
+class TestDramConfig:
+    def test_defaults(self):
+        cfg = DramConfig()
+        assert cfg.technology == "ddr4"
+        assert cfg.read_queue_entries == 128
+
+    def test_bad_technology(self):
+        with pytest.raises(ConfigError):
+            DramConfig(technology="ddr9")
+
+    @pytest.mark.parametrize("field", ["channels", "read_queue_entries", "write_queue_entries"])
+    def test_positive_required(self, field):
+        with pytest.raises(ConfigError):
+            DramConfig(**{field: 0})
+
+
+class TestLayoutConfig:
+    def test_total_bandwidth(self):
+        cfg = LayoutConfig(num_banks=4, bandwidth_per_bank_words=16)
+        assert cfg.total_bandwidth_words == 64
+
+    def test_bad_banks(self):
+        with pytest.raises(ConfigError):
+            LayoutConfig(num_banks=0)
+
+
+class TestEnergyConfig:
+    def test_defaults(self):
+        cfg = EnergyConfig()
+        assert cfg.technology_nm == 65
+        assert not cfg.clock_gating
+
+    def test_bad_clock(self):
+        with pytest.raises(ConfigError):
+            EnergyConfig(clock_ghz=0)
+
+
+class TestMulticoreConfig:
+    def test_num_cores(self):
+        assert MulticoreConfig(partitions_row=4, partitions_col=2).num_cores == 8
+
+    def test_nop_hops_length_checked(self):
+        with pytest.raises(ConfigError):
+            MulticoreConfig(partitions_row=2, partitions_col=2, nop_hops=(1, 2))
+
+    def test_nop_hops_valid(self):
+        cfg = MulticoreConfig(partitions_row=2, partitions_col=2, nop_hops=(0, 1, 1, 2))
+        assert cfg.nop_hops == (0, 1, 1, 2)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ConfigError):
+            MulticoreConfig(partition_scheme="diagonal")
+
+
+class TestSystemConfig:
+    def test_defaults_compose(self):
+        cfg = SystemConfig()
+        assert not cfg.dram.enabled
+        assert not cfg.energy.enabled
+        assert cfg.run.run_name
+
+    def test_replace_section(self):
+        cfg = SystemConfig().replace(run=RunConfig(run_name="other"))
+        assert cfg.run.run_name == "other"
+        assert cfg.arch.array_rows == 32

@@ -1,0 +1,179 @@
+"""Unit tests for the aggregate compute simulator."""
+
+import pytest
+
+from repro.core.compute_sim import ComputeSimulator, FoldSpec, TileFetch
+from repro.core.dataflow import Dataflow
+from repro.errors import SimulationError
+from repro.topology.layer import ConvLayer, GemmLayer
+
+ALL_DATAFLOWS = ["os", "ws", "is"]
+
+
+def _gemm(m=16, n=20, k=12):
+    return GemmLayer("g", m=m, n=n, k=k)
+
+
+class TestSimulateLayerBasics:
+    def test_cycles_match_equation(self):
+        sim = ComputeSimulator(4, 4, "os")
+        result = sim.simulate_layer(_gemm())
+        # OS: Sr=M=16 (4 folds), Sc=N=20 (5 folds), T=K=12.
+        assert result.compute_cycles == (8 + 4 + 12 - 2) * 4 * 5
+
+    def test_fold_counts(self):
+        sim = ComputeSimulator(4, 4, "ws")
+        result = sim.simulate_layer(_gemm())
+        # WS: Sr=K=12 -> 3 folds, Sc=M=16 -> 4 folds.
+        assert (result.folds_row, result.folds_col) == (3, 4)
+        assert result.total_folds == 12
+
+    def test_string_and_enum_dataflow_agree(self):
+        a = ComputeSimulator(4, 4, "ws").simulate_layer(_gemm())
+        b = ComputeSimulator(4, 4, Dataflow.WEIGHT_STATIONARY).simulate_layer(_gemm())
+        assert a.compute_cycles == b.compute_cycles
+
+    def test_macs(self):
+        result = ComputeSimulator(4, 4, "os").simulate_layer(_gemm())
+        assert result.macs == 16 * 20 * 12
+
+    def test_bad_array(self):
+        with pytest.raises(SimulationError):
+            ComputeSimulator(0, 4, "os")
+
+
+class TestSramCounts:
+    """Closed-form access counts (see module docstring of compute_sim)."""
+
+    def test_ws_counts(self):
+        result = ComputeSimulator(4, 4, "ws").simulate_layer(_gemm())
+        m, n, k = 16, 20, 12
+        fcols, frows = 4, 3
+        assert result.filter_sram_reads == k * m
+        assert result.ifmap_sram_reads == k * n * fcols
+        assert result.ofmap_sram_writes == m * n * frows
+
+    def test_is_counts(self):
+        result = ComputeSimulator(4, 4, "is").simulate_layer(_gemm())
+        m, n, k = 16, 20, 12
+        frows, fcols = 3, 5  # Sr=K, Sc=N
+        assert result.ifmap_sram_reads == k * n
+        assert result.filter_sram_reads == k * m * fcols
+        assert result.ofmap_sram_writes == m * n * frows
+
+    def test_os_counts(self):
+        result = ComputeSimulator(4, 4, "os").simulate_layer(_gemm())
+        m, n, k = 16, 20, 12
+        frows, fcols = 4, 5
+        assert result.ifmap_sram_reads == n * k * frows
+        assert result.filter_sram_reads == m * k * fcols
+        assert result.ofmap_sram_writes == m * n
+
+    def test_stationary_operand_read_once(self):
+        # WS reads each filter element exactly once from SRAM.
+        result = ComputeSimulator(4, 4, "ws").simulate_layer(_gemm())
+        assert result.filter_sram_reads == result.shape.filter_words
+
+
+class TestFoldSpecs:
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_specs_cover_all_folds(self, dataflow):
+        result = ComputeSimulator(4, 4, dataflow).simulate_layer(_gemm())
+        assert len(result.fold_specs) == result.total_folds
+
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_spec_cycles_sum_to_runtime(self, dataflow):
+        result = ComputeSimulator(4, 4, dataflow).simulate_layer(_gemm())
+        assert sum(s.cycles for s in result.fold_specs) == result.compute_cycles
+
+    def test_without_fold_specs(self):
+        result = ComputeSimulator(4, 4, "ws").simulate_layer(_gemm(), with_fold_specs=False)
+        assert result.fold_specs == []
+        # Closed-form DRAM totals still populated.
+        assert result.dram_filter_words > 0
+
+    def test_fetch_words_property(self):
+        spec = FoldSpec(
+            fold_row=0,
+            fold_col=0,
+            start_cycle=0,
+            cycles=10,
+            rows_used=4,
+            cols_used=4,
+            fetches=(
+                TileFetch("ifmap", 0, 100),
+                TileFetch("ofmap", 0, 50, is_write=True),
+            ),
+        )
+        assert spec.fetch_words == 100
+        assert spec.writeback_words == 50
+
+    def test_bad_tile_fetch(self):
+        with pytest.raises(SimulationError):
+            TileFetch("weights", 0, 10)
+        with pytest.raises(SimulationError):
+            TileFetch("ifmap", -1, 10)
+
+
+class TestDramTraffic:
+    def test_ws_filter_traffic_is_compulsory(self):
+        # Weights are fetched exactly once (they are stationary).
+        result = ComputeSimulator(4, 4, "ws").simulate_layer(_gemm())
+        assert result.dram_filter_words == pytest.approx(
+            result.shape.filter_words, rel=0.1
+        )
+
+    def test_small_sram_increases_ifmap_traffic(self):
+        layer = _gemm(m=64, n=64, k=64)
+        big = ComputeSimulator(8, 8, "ws", ifmap_sram_words=1 << 20)
+        tiny = ComputeSimulator(8, 8, "ws", ifmap_sram_words=8)
+        big_words = big.simulate_layer(layer).dram_ifmap_words
+        tiny_words = tiny.simulate_layer(layer).dram_ifmap_words
+        assert tiny_words > big_words
+
+    def test_small_ofmap_sram_causes_readbacks(self):
+        layer = _gemm(m=64, n=64, k=64)
+        big = ComputeSimulator(8, 8, "ws", ofmap_sram_words=1 << 20)
+        tiny = ComputeSimulator(8, 8, "ws", ofmap_sram_words=8)
+        assert big.simulate_layer(layer).dram_ofmap_readback_words == 0
+        assert tiny.simulate_layer(layer).dram_ofmap_readback_words > 0
+
+    def test_os_writes_output_once(self):
+        layer = _gemm()
+        result = ComputeSimulator(4, 4, "os").simulate_layer(layer)
+        assert result.dram_ofmap_write_words == layer.ofmap_words
+        assert result.dram_ofmap_readback_words == 0
+
+    @pytest.mark.parametrize("dataflow", ALL_DATAFLOWS)
+    def test_closed_form_matches_fold_specs(self, dataflow):
+        layer = _gemm(m=32, n=48, k=24)
+        sim = ComputeSimulator(8, 8, dataflow)
+        with_specs = sim.simulate_layer(layer, with_fold_specs=True)
+        without = sim.simulate_layer(layer, with_fold_specs=False)
+        for field in ("dram_filter_words", "dram_ofmap_write_words"):
+            assert getattr(without, field) == pytest.approx(
+                getattr(with_specs, field), rel=0.15
+            ), field
+
+    def test_conv_uses_raw_ifmap_footprint(self):
+        layer = ConvLayer(
+            name="c", ifmap_h=16, ifmap_w=16, filter_h=3, filter_w=3, channels=8, num_filters=8
+        )
+        result = ComputeSimulator(8, 8, "ws").simulate_layer(layer)
+        # DRAM sees unique data: traffic is bounded by a small multiple of
+        # the raw footprint, far below the im2col-inflated SRAM reads.
+        assert result.dram_ifmap_words < result.ifmap_sram_reads
+
+
+class TestUtilizationMetrics:
+    def test_perfect_spatial_fit(self):
+        result = ComputeSimulator(4, 4, "os").simulate_layer(_gemm(m=8, n=8, k=10))
+        assert result.mapping_efficiency == 1.0
+
+    def test_ragged_fit(self):
+        result = ComputeSimulator(4, 4, "os").simulate_layer(_gemm(m=5, n=8, k=10))
+        assert result.mapping_efficiency < 1.0
+
+    def test_utilization_positive(self):
+        result = ComputeSimulator(4, 4, "os").simulate_layer(_gemm())
+        assert 0 < result.compute_utilization < 1

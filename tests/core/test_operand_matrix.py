@@ -1,0 +1,109 @@
+"""Unit tests for operand address-matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.operand_matrix import (
+    FILTER_BASE,
+    IFMAP_BASE,
+    OFMAP_BASE,
+    classify_address,
+    conv_operand_matrices,
+    gemm_operand_matrices,
+    operand_matrices,
+)
+from repro.errors import SimulationError
+from repro.topology.layer import ConvLayer, GemmLayer
+
+
+def _conv(**kw):
+    defaults = dict(
+        name="c", ifmap_h=6, ifmap_w=6, filter_h=3, filter_w=3, channels=2, num_filters=4
+    )
+    defaults.update(kw)
+    return ConvLayer(**defaults)
+
+
+class TestConvOperands:
+    def test_shapes_follow_gemm(self):
+        layer = _conv()
+        ops = conv_operand_matrices(layer)
+        gemm = layer.to_gemm()
+        assert ops.ifmap.shape == (gemm.k, gemm.n)
+        assert ops.filter.shape == (gemm.m, gemm.k)
+        assert ops.ofmap.shape == (gemm.m, gemm.n)
+
+    def test_ifmap_addresses_in_region(self):
+        ops = conv_operand_matrices(_conv())
+        assert ops.ifmap.min() >= IFMAP_BASE
+        assert ops.ifmap.max() < FILTER_BASE
+
+    def test_unique_ifmap_equals_raw_footprint(self):
+        # im2col repeats addresses; unique count is the raw ifmap size.
+        layer = _conv()
+        ops = conv_operand_matrices(layer)
+        assert ops.unique_ifmap_words == layer.ifmap_words
+
+    def test_first_window_addresses(self):
+        # Window element k=0 of pixel n=0 reads ifmap (h=0, w=0, c=0).
+        ops = conv_operand_matrices(_conv())
+        assert ops.ifmap[0, 0] == IFMAP_BASE
+
+    def test_stride_changes_addresses(self):
+        layer = _conv(stride_h=2, stride_w=2)
+        ops = conv_operand_matrices(layer)
+        # Second ofmap pixel starts 2 columns over: offset 2 * channels.
+        assert ops.ifmap[0, 1] - ops.ifmap[0, 0] == 2 * layer.channels
+
+    def test_channel_is_fastest_axis(self):
+        ops = conv_operand_matrices(_conv())
+        # k=0 -> (kh=0, kw=0, c=0); k=1 -> c=1: adjacent addresses.
+        assert ops.ifmap[1, 0] - ops.ifmap[0, 0] == 1
+
+    def test_filter_row_major(self):
+        layer = _conv()
+        ops = conv_operand_matrices(layer)
+        k = layer.window_size
+        assert ops.filter[1, 0] - ops.filter[0, 0] == k
+        assert ops.filter[0, 1] - ops.filter[0, 0] == 1
+
+    def test_filter_addresses_unique(self):
+        ops = conv_operand_matrices(_conv())
+        assert ops.unique_filter_words == ops.filter.size
+
+
+class TestGemmOperands:
+    def test_shapes(self):
+        ops = gemm_operand_matrices(GemmLayer("g", m=3, n=4, k=5))
+        assert ops.ifmap.shape == (5, 4)
+        assert ops.filter.shape == (3, 5)
+        assert ops.ofmap.shape == (3, 4)
+
+    def test_all_addresses_unique_per_operand(self):
+        ops = gemm_operand_matrices(GemmLayer("g", m=3, n=4, k=5))
+        for matrix in (ops.ifmap, ops.filter, ops.ofmap):
+            assert np.unique(matrix).size == matrix.size
+
+    def test_regions_disjoint(self):
+        ops = gemm_operand_matrices(GemmLayer("g", m=3, n=4, k=5))
+        assert ops.ifmap.max() < FILTER_BASE
+        assert FILTER_BASE <= ops.filter.min()
+        assert ops.filter.max() < OFMAP_BASE
+        assert OFMAP_BASE <= ops.ofmap.min()
+
+
+class TestDispatchAndClassify:
+    def test_dispatch_conv(self):
+        assert operand_matrices(_conv()).shape.m == 4
+
+    def test_dispatch_gemm(self):
+        assert operand_matrices(GemmLayer("g", m=2, n=2, k=2)).shape.k == 2
+
+    def test_classify(self):
+        assert classify_address(5) == "ifmap"
+        assert classify_address(FILTER_BASE) == "filter"
+        assert classify_address(OFMAP_BASE + 1) == "ofmap"
+
+    def test_classify_negative(self):
+        with pytest.raises(SimulationError):
+            classify_address(-1)

@@ -1,0 +1,109 @@
+"""Unit tests for the end-to-end single-core Simulator."""
+
+import pytest
+
+from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.topology.models import toy_conv, toy_gemm
+
+
+def _config(**arch_kw):
+    defaults = dict(array_rows=8, array_cols=8, bandwidth_words=16)
+    defaults.update(arch_kw)
+    return SystemConfig(arch=ArchitectureConfig(**defaults))
+
+
+class TestIdealBandwidthRuns:
+    def test_runs_all_layers(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert len(result.layers) == 2
+        assert result.total_cycles > 0
+
+    def test_total_is_sum_of_layers(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert result.total_cycles == sum(l.total_cycles for l in result.layers)
+
+    def test_high_bandwidth_means_no_mid_run_stalls(self):
+        result = Simulator(_config(bandwidth_words=10_000)).run(toy_gemm())
+        for layer in result.layers:
+            assert layer.stall_cycles == 0
+
+    def test_low_bandwidth_stalls(self):
+        fast = Simulator(_config(bandwidth_words=10_000)).run(toy_gemm())
+        slow = Simulator(_config(bandwidth_words=1)).run(toy_gemm())
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_compute_cycles_independent_of_bandwidth(self):
+        fast = Simulator(_config(bandwidth_words=10_000)).run(toy_gemm())
+        slow = Simulator(_config(bandwidth_words=1)).run(toy_gemm())
+        assert fast.total_compute_cycles == slow.total_compute_cycles
+
+    def test_layer_named(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert result.layer_named("c1").layer_name == "c1"
+        with pytest.raises(KeyError):
+            result.layer_named("zzz")
+
+    def test_no_dram_stats_without_dram(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert result.dram_stats is None
+
+    def test_cold_start_positive(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert result.layers[0].timeline.cold_start_cycles > 0
+
+    def test_continuous_timeline_keeps_layers_cheap(self):
+        # Regression: a shared backend must not charge layer N the whole
+        # runtime of layers 0..N-1 as cold start.
+        result = Simulator(_config(bandwidth_words=1000)).run(toy_gemm())
+        later = result.layers[-1]
+        assert later.timeline.cold_start_cycles < later.compute_cycles
+
+
+class TestDramRuns:
+    def _dram_config(self, **dram_kw):
+        dram_defaults = dict(enabled=True, technology="ddr4", channels=1)
+        dram_defaults.update(dram_kw)
+        return SystemConfig(
+            arch=ArchitectureConfig(array_rows=8, array_cols=8),
+            dram=DramConfig(**dram_defaults),
+        )
+
+    def test_dram_stats_collected(self):
+        result = Simulator(self._dram_config()).run(toy_conv())
+        assert result.dram_stats is not None
+        assert result.dram_stats.reads > 0
+
+    def test_dram_adds_latency_over_ideal(self):
+        ideal = Simulator(_config(bandwidth_words=10_000)).run(toy_conv())
+        dram = Simulator(self._dram_config()).run(toy_conv())
+        assert dram.total_cycles >= ideal.total_cycles
+
+    def test_more_channels_not_slower(self):
+        one = Simulator(self._dram_config(channels=1)).run(toy_conv())
+        four = Simulator(self._dram_config(channels=4)).run(toy_conv())
+        assert four.total_cycles <= one.total_cycles
+
+    def test_tiny_queue_not_faster(self):
+        small = Simulator(
+            self._dram_config(read_queue_entries=1, write_queue_entries=1)
+        ).run(toy_conv())
+        large = Simulator(
+            self._dram_config(read_queue_entries=256, write_queue_entries=256)
+        ).run(toy_conv())
+        assert large.total_cycles <= small.total_cycles
+
+    def test_run_layer_single(self):
+        sim = Simulator(self._dram_config())
+        layer_result = sim.run_layer(toy_conv()[0])
+        assert layer_result.total_cycles > 0
+
+
+class TestReports:
+    def test_write_reports(self, tmp_path):
+        result = Simulator(_config()).run(toy_conv())
+        paths = result.write_reports(tmp_path)
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.read_text().count("\n") == len(result.layers) + 1

@@ -1,0 +1,81 @@
+"""Unit tests for the per-bank state machine."""
+
+from repro.dram.bank import CONFLICT, HIT, MISS, BankState
+from repro.dram.timing import get_timing_preset
+
+TIMING = get_timing_preset("ddr4")
+
+
+class TestBankAccessCategories:
+    def test_first_access_is_miss(self):
+        bank = BankState()
+        _, category = bank.access(0, row=5, is_write=False, timing=TIMING)
+        assert category == MISS
+
+    def test_same_row_hits(self):
+        bank = BankState()
+        bank.access(0, row=5, is_write=False, timing=TIMING)
+        _, category = bank.access(100, row=5, is_write=False, timing=TIMING)
+        assert category == HIT
+
+    def test_different_row_conflicts(self):
+        bank = BankState()
+        bank.access(0, row=5, is_write=False, timing=TIMING)
+        _, category = bank.access(100, row=9, is_write=False, timing=TIMING)
+        assert category == CONFLICT
+
+
+class TestBankLatencies:
+    def test_miss_latency(self):
+        bank = BankState()
+        data_start, _ = bank.access(0, row=1, is_write=False, timing=TIMING)
+        assert data_start == TIMING.t_rcd + TIMING.t_cl
+
+    def test_hit_latency(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=False, timing=TIMING)
+        late = 1000  # long after the bank is ready
+        data_start, _ = bank.access(late, row=1, is_write=False, timing=TIMING)
+        assert data_start == late + TIMING.t_cl
+
+    def test_conflict_pays_precharge(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=False, timing=TIMING)
+        late = 1000
+        data_start, _ = bank.access(late, row=2, is_write=False, timing=TIMING)
+        assert data_start == late + TIMING.t_rp + TIMING.t_rcd + TIMING.t_cl
+
+    def test_conflict_respects_tras(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=False, timing=TIMING)
+        # Immediately conflicting: precharge must wait for tRAS.
+        data_start, category = bank.access(1, row=2, is_write=False, timing=TIMING)
+        assert category == CONFLICT
+        assert data_start >= TIMING.t_ras + TIMING.t_rp + TIMING.t_rcd + TIMING.t_cl
+
+    def test_back_to_back_hits_respect_tccd(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=False, timing=TIMING)
+        first, _ = bank.access(1000, row=1, is_write=False, timing=TIMING)
+        second, _ = bank.access(1000, row=1, is_write=False, timing=TIMING)
+        assert second - first >= TIMING.t_ccd
+
+    def test_write_uses_cwl(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=False, timing=TIMING)
+        data_start, _ = bank.access(1000, row=1, is_write=True, timing=TIMING)
+        assert data_start == 1000 + TIMING.t_cwl
+
+    def test_write_recovery_delays_next_access(self):
+        bank = BankState()
+        bank.access(0, row=1, is_write=True, timing=TIMING)
+        after_write = bank.ready_cycle
+        bank2 = BankState()
+        bank2.access(0, row=1, is_write=False, timing=TIMING)
+        after_read = bank2.ready_cycle
+        assert after_write - after_read == TIMING.t_wr
+
+    def test_open_row_tracked(self):
+        bank = BankState()
+        bank.access(0, row=7, is_write=False, timing=TIMING)
+        assert bank.open_row == 7

@@ -1,0 +1,75 @@
+"""Unit tests for DRAM timing presets."""
+
+import pytest
+
+from repro.dram.timing import DramTiming, available_timing_presets, get_timing_preset
+from repro.errors import DramError
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for name in available_timing_presets():
+            timing = get_timing_preset(name)
+            assert timing.t_rcd >= 1
+            assert timing.row_bytes >= 64
+
+    def test_paper_technologies_present(self):
+        # Section II-C lists the Ramulator standards we mirror.
+        for tech in ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm", "wio2"):
+            assert get_timing_preset(tech) is not None
+
+    def test_case_insensitive(self):
+        assert get_timing_preset("DDR4").name == get_timing_preset("ddr4").name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DramError):
+            get_timing_preset("ddr6")
+
+    def test_ddr4_2400_bandwidth(self):
+        timing = get_timing_preset("ddr4")
+        # 16 B/cycle at 1.2 GHz ~ 19.2 GB/s.
+        assert timing.peak_bandwidth_gbps == pytest.approx(19.2, rel=0.01)
+
+    def test_latency_ladder(self):
+        timing = get_timing_preset("ddr4")
+        assert timing.t_cl < timing.row_miss_latency < timing.row_conflict_latency
+
+
+class TestDramTimingValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="x",
+            tck_ns=1.0,
+            t_rcd=10,
+            t_rp=10,
+            t_cl=10,
+            t_cwl=8,
+            t_ras=24,
+            t_ccd=4,
+            t_wr=10,
+            t_burst=4,
+            row_bytes=2048,
+            bus_bytes_per_cycle=16,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid(self):
+        DramTiming(**self._kwargs())
+
+    @pytest.mark.parametrize("field", ["t_rcd", "t_rp", "t_cl", "t_burst", "row_bytes"])
+    def test_nonpositive_rejected(self, field):
+        with pytest.raises(DramError):
+            DramTiming(**self._kwargs(**{field: 0}))
+
+    def test_bad_tck(self):
+        with pytest.raises(DramError):
+            DramTiming(**self._kwargs(tck_ns=0))
+
+    def test_cycles_from_ns(self):
+        timing = DramTiming(**self._kwargs(tck_ns=0.5))
+        assert timing.cycles_from_ns(1.2) == 3
+
+    def test_cycles_from_negative_ns(self):
+        with pytest.raises(DramError):
+            DramTiming(**self._kwargs()).cycles_from_ns(-1)

@@ -1,0 +1,158 @@
+"""Unit tests for AccelergyLite energy estimation."""
+
+import pytest
+
+from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.energy.accelergy import (
+    SYSTEM_STATE_REFERENCE_MW,
+    AccelergyLite,
+    EnergyReport,
+    system_state_power_mw,
+)
+from repro.errors import EnergyModelError
+from repro.topology.models import toy_conv, toy_gemm
+
+
+def _setup(dataflow="os", rows=8, cols=8):
+    arch = ArchitectureConfig(
+        array_rows=rows, array_cols=cols, dataflow=dataflow, bandwidth_words=100
+    )
+    energy = EnergyConfig(enabled=True)
+    cfg = SystemConfig(arch=arch, energy=energy)
+    run = Simulator(cfg).run(toy_gemm())
+    return AccelergyLite(arch, energy), run
+
+
+class TestEnergyReport:
+    def test_total_properties(self):
+        report = EnergyReport(cycles=1000, clock_ghz=1.0, dynamic_pj=2e9, leakage_pj=1e9)
+        assert report.total_pj == 3e9
+        assert report.total_mj == pytest.approx(3.0)
+
+    def test_dram_separate(self):
+        report = EnergyReport(
+            cycles=10, clock_ghz=1.0, dynamic_pj=100.0, leakage_pj=10.0, dram_pj=1000.0
+        )
+        assert report.total_pj == 110.0
+        assert report.total_with_dram_pj == 1110.0
+
+    def test_average_power(self):
+        # 1000 pJ over 1000 cycles at 1 GHz = 1 mW... in W: 1e-3.
+        report = EnergyReport(cycles=1000, clock_ghz=1.0, dynamic_pj=1000.0, leakage_pj=0.0)
+        assert report.average_power_w == pytest.approx(1e-3)
+
+    def test_edp(self):
+        report = EnergyReport(cycles=100, clock_ghz=1.0, dynamic_pj=1e9, leakage_pj=0.0)
+        assert report.edp_cycles_mj == pytest.approx(100 * 1.0)
+
+    def test_merge(self):
+        a = EnergyReport(cycles=10, clock_ghz=1.0, dynamic_pj=1.0, leakage_pj=2.0,
+                         per_instance_pj={"mac": 1.0})
+        b = EnergyReport(cycles=20, clock_ghz=1.0, dynamic_pj=3.0, leakage_pj=4.0,
+                         per_instance_pj={"mac": 3.0, "noc": 1.0})
+        merged = a.merged_with(b)
+        assert merged.cycles == 30
+        assert merged.dynamic_pj == 4.0
+        assert merged.per_instance_pj == {"mac": 4.0, "noc": 1.0}
+
+    def test_merge_clock_mismatch(self):
+        a = EnergyReport(cycles=10, clock_ghz=1.0, dynamic_pj=1.0, leakage_pj=0.0)
+        b = EnergyReport(cycles=10, clock_ghz=2.0, dynamic_pj=1.0, leakage_pj=0.0)
+        with pytest.raises(EnergyModelError):
+            a.merged_with(b)
+
+
+class TestEstimation:
+    def test_layer_energy_positive(self):
+        engine, run = _setup()
+        report = engine.estimate_layer(run.layers[0])
+        assert report.dynamic_pj > 0
+        assert report.leakage_pj > 0
+
+    def test_run_energy_sums_layers(self):
+        engine, run = _setup()
+        total = engine.estimate_run(run)
+        parts = [engine.estimate_layer(layer) for layer in run.layers]
+        assert total.total_pj == pytest.approx(sum(p.total_pj for p in parts))
+
+    def test_per_instance_breakdown_present(self):
+        engine, run = _setup()
+        report = engine.estimate_layer(run.layers[0])
+        assert "mac" in report.per_instance_pj
+        assert "ifmap_sram" in report.per_instance_pj
+
+    def test_mac_energy_dominated_by_macs(self):
+        engine, run = _setup()
+        report = engine.estimate_layer(run.layers[0])
+        assert report.per_instance_pj["mac"] > 0
+
+    def test_bigger_array_more_leakage(self):
+        _, run_small = _setup(rows=4, cols=4)
+        engine_small = AccelergyLite(
+            ArchitectureConfig(array_rows=4, array_cols=4), EnergyConfig(enabled=True)
+        )
+        engine_large = AccelergyLite(
+            ArchitectureConfig(array_rows=64, array_cols=64), EnergyConfig(enabled=True)
+        )
+        cycles = 1000
+        assert engine_large.ert.total_leakage_pj(cycles) > engine_small.ert.total_leakage_pj(cycles)
+
+    def test_empty_run_rejected(self):
+        engine, run = _setup()
+        run.layers.clear()
+        with pytest.raises(EnergyModelError):
+            engine.estimate_run(run)
+
+    def test_dram_energy_reported_separately(self):
+        engine, run = _setup()
+        report = engine.estimate_run(run)
+        assert report.dram_pj > 0
+        assert report.dram_pj not in (report.dynamic_pj,)
+
+
+class TestSystemStates:
+    """Table III: idle / active / power-gated vs PnR reference."""
+
+    @pytest.mark.parametrize("state", ["idle", "active", "power_gating"])
+    def test_within_five_percent_of_pnr(self, state):
+        model = system_state_power_mw(state)
+        reference = SYSTEM_STATE_REFERENCE_MW[state]
+        assert abs(model - reference) / reference < 0.05
+
+    def test_state_ordering(self):
+        assert (
+            system_state_power_mw("power_gating")
+            < system_state_power_mw("idle")
+            < system_state_power_mw("active")
+        )
+
+    def test_clock_scales_power(self):
+        half = system_state_power_mw("active", clock_ghz=0.5)
+        full = system_state_power_mw("active", clock_ghz=1.0)
+        assert half == pytest.approx(full / 2)
+
+    def test_bigger_design_more_power(self):
+        big_arch = ArchitectureConfig(array_rows=32, array_cols=32)
+        small = system_state_power_mw("active")
+        big = system_state_power_mw("active", arch=big_arch)
+        assert big > small
+
+    def test_unknown_state(self):
+        with pytest.raises(EnergyModelError):
+            system_state_power_mw("hibernate")
+
+
+class TestDataflowEnergyOrdering:
+    def test_os_has_fewest_ofmap_sram_writes(self):
+        """The mechanism behind Figure 15's 'OS wins energy'."""
+        results = {}
+        for dataflow in ("os", "ws", "is"):
+            cfg = SystemConfig(
+                arch=ArchitectureConfig(array_rows=8, array_cols=8, dataflow=dataflow,
+                                        bandwidth_words=100),
+            )
+            run = Simulator(cfg).run(toy_conv())
+            results[dataflow] = sum(l.compute.ofmap_sram_writes for l in run.layers)
+        assert results["os"] <= results["ws"]
+        assert results["os"] <= results["is"]

@@ -1,0 +1,120 @@
+"""Unit tests for action counting."""
+
+import pytest
+
+from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
+from repro.core.simulator import Simulator
+from repro.energy.actions import ActionCounts, count_actions
+from repro.errors import EnergyModelError
+from repro.topology.models import toy_gemm
+
+
+def _layer_result(dataflow="os", **energy_kw):
+    cfg = SystemConfig(
+        arch=ArchitectureConfig(array_rows=8, array_cols=8, dataflow=dataflow, bandwidth_words=100)
+    )
+    return Simulator(cfg).run(toy_gemm()).layers[0]
+
+
+class TestActionCountsContainer:
+    def test_add_and_get(self):
+        counts = ActionCounts()
+        counts.add("mac", "mac_random", 10)
+        counts.add("mac", "mac_random", 5)
+        assert counts.get("mac", "mac_random") == 15
+
+    def test_get_missing_is_zero(self):
+        assert ActionCounts().get("mac", "mac_random") == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(EnergyModelError):
+            ActionCounts().add("mac", "mac_random", -1)
+
+    def test_merge(self):
+        a = ActionCounts(cycles=10)
+        a.add("mac", "mac_random", 1)
+        b = ActionCounts(cycles=20)
+        b.add("mac", "mac_random", 2)
+        b.add("noc", "hop", 3)
+        a.merge(b)
+        assert a.get("mac", "mac_random") == 3
+        assert a.get("noc", "hop") == 3
+        assert a.cycles == 30
+
+
+class TestCountActions:
+    def test_mac_random_equals_macs(self):
+        """Paper VII-E: MAC_random = #PEs x cycles x utilization = MACs."""
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        assert counts.get("mac", "mac_random") == result.compute.macs
+
+    def test_pe_cycles_partition(self):
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        pes = 64
+        total = counts.get("mac", "mac_random") + counts.get("mac", "mac_constant")
+        assert total == pes * result.total_cycles
+
+    def test_clock_gating_switches_action(self):
+        result = _layer_result()
+        gated = count_actions(result, EnergyConfig(enabled=True, clock_gating=True))
+        assert gated.get("mac", "mac_constant") == 0
+        assert gated.get("mac", "mac_gated") > 0
+
+    def test_spad_counts_follow_paper_rules(self):
+        """weights_spad.write = filter SRAM reads, reads = MACs, etc."""
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        compute = result.compute
+        assert counts.get("weights_spad", "write") == compute.filter_sram_reads
+        assert counts.get("weights_spad", "read") == compute.macs
+        assert counts.get("ifmap_spad", "write") == compute.ifmap_sram_reads
+        assert counts.get("psum_spad", "read") == compute.macs
+        assert counts.get("psum_spad", "write") == compute.macs
+
+    def test_sram_random_plus_repeat_equals_accesses(self):
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        compute = result.compute
+        total_reads = counts.get("ifmap_sram", "read_random") + counts.get(
+            "ifmap_sram", "read_repeat"
+        )
+        assert total_reads == compute.ifmap_sram_reads
+
+    def test_bigger_reuse_window_more_repeats(self):
+        result = _layer_result()
+        small = count_actions(result, EnergyConfig(enabled=True, row_size_words=2, bank_rows=1))
+        large = count_actions(result, EnergyConfig(enabled=True, row_size_words=64, bank_rows=4))
+        assert large.get("ifmap_sram", "read_repeat") > small.get("ifmap_sram", "read_repeat")
+        assert large.get("ifmap_sram", "read_random") < small.get("ifmap_sram", "read_random")
+
+    def test_idle_formula(self):
+        """Paper VII-D: idle = cycles x array_size - accesses."""
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        compute = result.compute
+        expected = max(0, result.total_cycles * 64 - compute.ifmap_sram_reads)
+        assert counts.get("ifmap_sram", "idle") == expected
+
+    def test_dram_words(self):
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        compute = result.compute
+        assert counts.get("dram", "write") == compute.dram_ofmap_write_words
+        assert counts.get("dram", "read") == (
+            compute.dram_ifmap_words
+            + compute.dram_filter_words
+            + compute.dram_ofmap_readback_words
+        )
+
+    def test_noc_hops(self):
+        result = _layer_result()
+        counts = count_actions(result, EnergyConfig(enabled=True))
+        assert counts.get("noc", "hop") == result.compute.total_sram_accesses
+
+    def test_compute_cycles_mode(self):
+        result = _layer_result()
+        total_mode = count_actions(result, EnergyConfig(enabled=True), use_total_cycles=True)
+        compute_mode = count_actions(result, EnergyConfig(enabled=True), use_total_cycles=False)
+        assert compute_mode.cycles <= total_mode.cycles

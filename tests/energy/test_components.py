@@ -1,0 +1,92 @@
+"""Unit tests for the component energy library."""
+
+import pytest
+
+from repro.energy.components import ComponentLibrary, UnitEnergy
+from repro.errors import EnergyModelError
+
+
+class TestUnitEnergy:
+    def test_lookup(self):
+        unit = UnitEnergy({"read": 1.5}, leakage_pj_per_cycle=0.1)
+        assert unit.energy("read") == 1.5
+
+    def test_unknown_action(self):
+        unit = UnitEnergy({"read": 1.5})
+        with pytest.raises(EnergyModelError):
+            unit.energy("write")
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(EnergyModelError):
+            UnitEnergy({"read": -1.0})
+
+    def test_negative_leakage_rejected(self):
+        with pytest.raises(EnergyModelError):
+            UnitEnergy({"read": 1.0}, leakage_pj_per_cycle=-0.1)
+
+
+class TestComponentLibrary:
+    def test_expected_components_present(self):
+        library = ComponentLibrary()
+        for name in ("mac", "ifmap_spad", "weights_spad", "psum_spad", "sram", "dram", "noc"):
+            assert name in library.names()
+
+    def test_energy_ladder(self):
+        """Orders of magnitude: spad < mac < sram < dram."""
+        library = ComponentLibrary()
+        spad = library.component("ifmap_spad").energy("read")
+        mac = library.component("mac").energy("mac_random")
+        sram = library.component("sram").energy("read_random")
+        dram = library.component("dram").energy("read")
+        assert spad < mac < sram < dram
+
+    def test_repeated_access_cheaper(self):
+        sram = ComponentLibrary().component("sram")
+        assert sram.energy("read_repeat") < sram.energy("read_random")
+        assert sram.energy("write_repeat") < sram.energy("write_random")
+
+    def test_gated_mac_is_free_dynamically(self):
+        mac = ComponentLibrary().component("mac")
+        assert mac.energy("mac_gated") == 0.0
+        assert mac.leakage_pj_per_cycle > 0
+
+    def test_constant_mac_cheaper_than_random(self):
+        mac = ComponentLibrary().component("mac")
+        assert mac.energy("mac_constant") < mac.energy("mac_random")
+
+    def test_technology_scaling(self):
+        at65 = ComponentLibrary(65).component("mac").energy("mac_random")
+        at32 = ComponentLibrary(32).component("mac").energy("mac_random")
+        assert at32 < at65
+
+    def test_unknown_component(self):
+        with pytest.raises(EnergyModelError):
+            ComponentLibrary().component("gpu")
+
+    def test_bad_node(self):
+        with pytest.raises(EnergyModelError):
+            ComponentLibrary(0)
+
+
+class TestSramScaling:
+    def test_bigger_sram_costs_more_per_access(self):
+        library = ComponentLibrary()
+        small = library.sram_scaled(64).energy("read_random")
+        large = library.sram_scaled(1024).energy("read_random")
+        assert small < large
+
+    def test_leakage_scales_linearly_with_capacity(self):
+        library = ComponentLibrary()
+        base = library.sram_scaled(256).leakage_pj_per_cycle
+        double = library.sram_scaled(512).leakage_pj_per_cycle
+        assert double == pytest.approx(2 * base)
+
+    def test_sqrt_access_scaling(self):
+        library = ComponentLibrary()
+        base = library.sram_scaled(256).energy("read_random")
+        quad = library.sram_scaled(1024).energy("read_random")
+        assert quad == pytest.approx(2 * base)
+
+    def test_bad_capacity(self):
+        with pytest.raises(EnergyModelError):
+            ComponentLibrary().sram_scaled(0)

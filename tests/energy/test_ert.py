@@ -1,0 +1,93 @@
+"""Unit tests for ERT construction."""
+
+import pytest
+
+from repro.config.system import ArchitectureConfig, EnergyConfig
+from repro.energy.components import ComponentLibrary
+from repro.energy.ert import EnergyReferenceTable, build_ert
+from repro.errors import EnergyModelError
+
+
+def _ert(**arch_kw):
+    defaults = dict(array_rows=8, array_cols=8)
+    defaults.update(arch_kw)
+    return build_ert(ArchitectureConfig(**defaults), EnergyConfig(enabled=True))
+
+
+class TestBuildErt:
+    def test_baseline_template_instances(self):
+        ert = _ert()
+        for name in (
+            "mac",
+            "ifmap_spad",
+            "weights_spad",
+            "psum_spad",
+            "ifmap_sram",
+            "filter_sram",
+            "ofmap_sram",
+            "dram",
+            "noc",
+        ):
+            assert name in ert.entries
+
+    def test_pe_multiplicity(self):
+        ert = _ert(array_rows=4, array_cols=8)
+        assert ert.multiplicity["mac"] == 32
+        assert ert.multiplicity["psum_spad"] == 32
+
+    def test_simd_optional(self):
+        assert "simd" not in _ert().entries
+        assert "simd" in _ert(simd_lanes=16).entries
+
+    def test_sram_size_affects_energy(self):
+        small = _ert(ifmap_sram_kb=64)
+        large = _ert(ifmap_sram_kb=1024)
+        assert small.entries["ifmap_sram"].energy("read_random") < large.entries[
+            "ifmap_sram"
+        ].energy("read_random")
+
+
+class TestErtQueries:
+    def test_energy_pj(self):
+        ert = _ert()
+        one = ert.energy_pj("mac", "mac_random", 1)
+        many = ert.energy_pj("mac", "mac_random", 1000)
+        assert many == pytest.approx(1000 * one)
+
+    def test_unknown_instance(self):
+        with pytest.raises(EnergyModelError):
+            _ert().energy_pj("tpu", "read", 1)
+
+    def test_negative_count(self):
+        with pytest.raises(EnergyModelError):
+            _ert().energy_pj("mac", "mac_random", -1)
+
+    def test_leakage_scales_with_cycles_and_copies(self):
+        ert = _ert()
+        one_cycle = ert.leakage_pj("mac", 1)
+        assert ert.leakage_pj("mac", 100) == pytest.approx(100 * one_cycle)
+        unit = ComponentLibrary().component("mac").leakage_pj_per_cycle
+        assert one_cycle == pytest.approx(64 * unit)
+
+    def test_power_gating_reduces_leakage(self):
+        ert = _ert()
+        full = ert.leakage_pj("mac", 100)
+        gated = ert.leakage_pj("mac", 100, gated_fraction=1.0)
+        assert gated == pytest.approx(0.15 * full)
+
+    def test_gated_fraction_range(self):
+        with pytest.raises(EnergyModelError):
+            _ert().leakage_pj("mac", 10, gated_fraction=1.5)
+
+    def test_total_leakage_sums_components(self):
+        ert = _ert()
+        total = ert.total_leakage_pj(10)
+        parts = sum(ert.leakage_pj(name, 10) for name in ert.entries)
+        assert total == pytest.approx(parts)
+
+    def test_duplicate_instance_rejected(self):
+        ert = EnergyReferenceTable(technology_nm=65)
+        unit = ComponentLibrary().component("mac")
+        ert.add("mac", unit)
+        with pytest.raises(EnergyModelError):
+            ert.add("mac", unit)

@@ -1,0 +1,89 @@
+"""Unit tests for Accelergy YAML artifact generation."""
+
+from repro.config.system import ArchitectureConfig, EnergyConfig
+from repro.energy.actions import ActionCounts
+from repro.energy.yaml_gen import (
+    ACTION_TRANSLATION,
+    action_counts_description,
+    architecture_description,
+    write_action_counts_yaml,
+    write_architecture_yaml,
+)
+from repro.utils.yamlio import parse_simple_yaml
+
+
+class TestArchitectureYaml:
+    def test_structure(self):
+        desc = architecture_description(
+            ArchitectureConfig(array_rows=4, array_cols=4), EnergyConfig(enabled=True)
+        )
+        arch = desc["architecture"]
+        assert arch["version"] == "0.4"
+        system = arch["subtree"][0]
+        local_names = [c["name"] for c in system["local"]]
+        assert local_names == ["ifmap_sram", "filter_sram", "ofmap_sram"]
+
+    def test_pe_template(self):
+        desc = architecture_description(
+            ArchitectureConfig(array_rows=4, array_cols=4), EnergyConfig(enabled=True)
+        )
+        pe = desc["architecture"]["subtree"][0]["subtree"][0]
+        assert pe["name"] == "pe[0..15]"
+        names = [c["name"] for c in pe["local"]]
+        assert names == ["ifmap_spad", "weights_spad", "psum_spad", "mac"]
+
+    def test_written_file_parses(self, tmp_path):
+        path = write_architecture_yaml(
+            ArchitectureConfig(), EnergyConfig(enabled=True), tmp_path
+        )
+        parsed = parse_simple_yaml(path.read_text())
+        assert "architecture" in parsed
+
+
+class TestActionCountsYaml:
+    def _counts(self):
+        counts = ActionCounts(cycles=100)
+        counts.add("ifmap_sram", "read_random", 10)
+        counts.add("ifmap_sram", "read_repeat", 90)
+        counts.add("mac", "mac_random", 640)
+        return counts
+
+    def test_translation_table_covers_paper_actions(self):
+        # Figure 14's six action types.
+        assert set(ACTION_TRANSLATION) == {
+            "idle",
+            "read_random",
+            "read_repeat",
+            "write_random",
+            "write_repeat",
+            "write_cst_data",
+        }
+
+    def test_repeated_access_has_zero_deltas(self):
+        t = ACTION_TRANSLATION["read_repeat"]
+        assert (t["data_delta"], t["address_delta"]) == (0, 0)
+
+    def test_random_access_toggles_both_deltas(self):
+        t = ACTION_TRANSLATION["read_random"]
+        assert (t["data_delta"], t["address_delta"]) == (1, 1)
+
+    def test_description_entries(self):
+        desc = action_counts_description(self._counts())
+        entries = desc["action_counts"]["local"]
+        assert len(entries) == 3
+        sram_random = [
+            e for e in entries if e["name"] == "ifmap_sram" and e["action_name"] == "read_random"
+        ][0]
+        assert sram_random["counts"] == 10
+        assert sram_random["arguments"] == {"data_delta": 1, "address_delta": 1}
+
+    def test_untranslated_actions_have_no_arguments(self):
+        desc = action_counts_description(self._counts())
+        mac = [e for e in desc["action_counts"]["local"] if e["name"] == "mac"][0]
+        assert "arguments" not in mac
+
+    def test_written_file_parses(self, tmp_path):
+        path = write_action_counts_yaml(self._counts(), tmp_path)
+        parsed = parse_simple_yaml(path.read_text())
+        assert parsed["action_counts"]["version"] == "0.4"
+        assert len(parsed["action_counts"]["local"]) == 3

@@ -1,0 +1,141 @@
+"""Integration tests: whole pipelines across module boundaries."""
+
+import pytest
+
+from repro.config.parser import parse_config_text
+from repro.config.presets import get_preset
+from repro.config.system import (
+    ArchitectureConfig,
+    DramConfig,
+    EnergyConfig,
+    SparsityConfig,
+    SystemConfig,
+)
+from repro.core.simulator import Simulator
+from repro.energy.accelergy import AccelergyLite
+from repro.run.runner import run_simulation
+from repro.topology.models import get_model
+from repro.topology.topology import Topology
+from repro.utils.csvio import read_csv_rows
+
+
+class TestConfigToReportsPipeline:
+    def test_cfg_text_to_reports(self, tmp_path):
+        cfg = parse_config_text(
+            """
+            [general]
+            run_name = integration
+
+            [architecture_presets]
+            ArrayHeight = 16
+            ArrayWidth = 16
+            Dataflow = ws
+
+            [energy]
+            Enabled = true
+            """
+        )
+        outputs = run_simulation(cfg, get_model("toy_conv"), output_dir=tmp_path)
+        compute_report = [p for p in outputs.report_paths if p.name == "COMPUTE_REPORT.csv"][0]
+        rows = read_csv_rows(compute_report)
+        assert len(rows) == 3  # header + 2 layers
+        assert rows[1][2] == "ws"
+
+    def test_topology_csv_round_trip_through_simulation(self, tmp_path):
+        topo = get_model("toy_gemm")
+        path = tmp_path / "topo.csv"
+        topo.to_csv(path)
+        reloaded = Topology.from_csv(path)
+        a = Simulator(SystemConfig()).run(topo)
+        b = Simulator(SystemConfig()).run(reloaded)
+        assert a.total_cycles == b.total_cycles
+
+
+class TestDramIntegration:
+    def test_tpu_preset_on_scaled_resnet(self):
+        cfg = get_preset("google_tpu_v2")
+        result = Simulator(cfg).run(get_model("resnet18", scale=16))
+        assert result.dram_stats is not None
+        assert result.dram_stats.reads > 100
+        assert result.dram_stats.row_hit_rate > 0.5  # streaming locality
+        assert result.total_stall_cycles >= 0
+
+    def test_dram_vs_ideal_same_compute(self):
+        topo = get_model("toy_conv")
+        arch = ArchitectureConfig(array_rows=8, array_cols=8)
+        ideal = Simulator(SystemConfig(arch=arch)).run(topo)
+        dram = Simulator(
+            SystemConfig(arch=arch, dram=DramConfig(enabled=True))
+        ).run(topo)
+        assert ideal.total_compute_cycles == dram.total_compute_cycles
+
+    @pytest.mark.parametrize("technology", ["ddr3", "ddr4", "hbm", "lpddr4"])
+    def test_all_dram_technologies_run(self, technology):
+        cfg = SystemConfig(
+            arch=ArchitectureConfig(array_rows=8, array_cols=8),
+            dram=DramConfig(enabled=True, technology=technology),
+        )
+        result = Simulator(cfg).run(get_model("toy_gemm"))
+        assert result.total_cycles > 0
+
+
+class TestEnergyIntegration:
+    def test_energy_scales_with_workload(self):
+        arch = ArchitectureConfig(array_rows=8, array_cols=8, bandwidth_words=100)
+        energy = EnergyConfig(enabled=True)
+        engine = AccelergyLite(arch, energy)
+        sim = Simulator(SystemConfig(arch=arch, energy=energy))
+        small = engine.estimate_run(sim.run(get_model("toy_gemm")))
+        large = engine.estimate_run(sim.run(get_model("resnet18", scale=32)))
+        assert large.total_pj > small.total_pj
+
+    def test_all_dataflows_produce_energy(self):
+        for dataflow in ("os", "ws", "is"):
+            arch = ArchitectureConfig(array_rows=8, array_cols=8, dataflow=dataflow)
+            engine = AccelergyLite(arch, EnergyConfig(enabled=True))
+            run = Simulator(SystemConfig(arch=arch)).run(get_model("toy_conv"))
+            assert engine.estimate_run(run).total_pj > 0
+
+
+class TestSparsityIntegration:
+    def test_sparse_run_end_to_end(self, tmp_path):
+        cfg = SystemConfig(
+            arch=ArchitectureConfig(array_rows=16, array_cols=16, dataflow="ws"),
+            sparsity=SparsityConfig(sparsity_support=True),
+        )
+        topo = get_model("resnet18", scale=16).with_sparsity("2:4")
+        outputs = run_simulation(cfg, topo, output_dir=tmp_path)
+        assert outputs.sparse_results
+        sparse_path = [p for p in outputs.report_paths if "SPARSE" in p.name][0]
+        rows = read_csv_rows(sparse_path)
+        assert len(rows) == len(topo) + 1
+
+    def test_sparsity_ratio_ordering_end_to_end(self):
+        """Figure 5's vertical ordering: sparser models need fewer cycles."""
+        totals = {}
+        for ratio in ("1:4", "2:4", "4:4"):
+            cfg = SystemConfig(
+                arch=ArchitectureConfig(array_rows=16, array_cols=16, dataflow="ws"),
+                sparsity=SparsityConfig(sparsity_support=True),
+            )
+            topo = get_model("resnet18", scale=16).with_sparsity(ratio)
+            outputs = run_simulation(cfg, topo, write_reports=False)
+            totals[ratio] = sum(r.sparse_compute_cycles for r in outputs.sparse_results)
+        assert totals["1:4"] < totals["2:4"] < totals["4:4"]
+
+
+class TestFullFeatureMatrix:
+    def test_everything_enabled_at_once(self, tmp_path):
+        cfg = SystemConfig(
+            arch=ArchitectureConfig(array_rows=16, array_cols=16, dataflow="ws"),
+            dram=DramConfig(enabled=True, channels=2),
+            energy=EnergyConfig(enabled=True),
+            sparsity=SparsityConfig(sparsity_support=True),
+        )
+        topo = get_model("toy_conv").with_sparsity("2:4")
+        outputs = run_simulation(cfg, topo, output_dir=tmp_path)
+        assert outputs.total_cycles > 0
+        assert outputs.energy_report is not None
+        assert outputs.sparse_results
+        assert outputs.run_result.dram_stats is not None
+        assert len(outputs.report_paths) >= 6

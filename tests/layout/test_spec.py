@@ -1,0 +1,119 @@
+"""Unit tests for layout specification and index math (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.spec import LayoutSpec, TensorView
+
+
+class TestTensorView:
+    def test_coords_channel_fastest(self):
+        view = TensorView(c_dim=4, h_dim=2, w_dim=3)
+        c, h, w = view.coords(np.array([0, 1, 4, 12]))
+        assert c.tolist() == [0, 1, 0, 0]
+        assert w.tolist() == [0, 0, 1, 0]
+        assert h.tolist() == [0, 0, 0, 1]
+
+    def test_num_elements(self):
+        assert TensorView(4, 2, 3).num_elements == 24
+
+    def test_for_matrix_balanced(self):
+        view = TensorView.for_matrix(rows=64, cols=100)
+        assert view.c_dim == 100
+        assert view.h_dim * view.w_dim == 64
+
+    def test_for_matrix_prime_rows(self):
+        view = TensorView.for_matrix(rows=97, cols=8)
+        assert view.h_dim * view.w_dim == 97
+
+    def test_bad_dims(self):
+        with pytest.raises(LayoutError):
+            TensorView(0, 1, 1)
+
+    def test_negative_offsets_rejected(self):
+        with pytest.raises(LayoutError):
+            TensorView(2, 2, 2).coords(np.array([-1]))
+
+
+class TestLayoutSpecIndexMath:
+    """Checks against the paper's worked example: C64 H8 W8 tensor,
+    layout C64 H8 W8 -> W2 H4 C16 (c1=16, h1=4, w1=2), 16 banks of
+    width 4 -> line capacity 128 elements."""
+
+    def _spec(self):
+        return LayoutSpec(
+            view=TensorView(c_dim=64, h_dim=8, w_dim=8),
+            c1_step=16,
+            h1_step=4,
+            w1_step=2,
+            num_banks=16,
+            bandwidth_per_bank=8,
+        )
+
+    def test_line_elements(self):
+        assert self._spec().line_elements == 16 * 4 * 2
+
+    def test_num_lines_covers_tensor(self):
+        spec = self._spec()
+        assert spec.num_lines == (64 // 16) * (8 // 4) * (8 // 2)
+
+    def test_element_zero_maps_to_origin(self):
+        line, col, bank = self._spec().locate(np.array([0]))
+        assert (line[0], col[0], bank[0]) == (0, 0, 0)
+
+    def test_line_id_formula(self):
+        spec = self._spec()
+        view = spec.view
+        # Element (c=16, h=0, w=0): line = (16//16) * 2 * 4 = 8.
+        offset = 0 * view.w_dim * view.c_dim + 0 * view.c_dim + 16  # (h*W + w)*C + c
+        line, _, _ = spec.locate(np.array([offset]))
+        assert line[0] == (16 // 16) * 2 * 4
+
+    def test_col_id_formula(self):
+        spec = self._spec()
+        # Element (c=3, h=2, w=1): col = 1*4*16 + 2*16 + 3 = 99.
+        offset = (2 * 8 + 1) * 64 + 3
+        _, col, bank = spec.locate(np.array([offset]))
+        assert col[0] == 99
+        assert bank[0] == 99 // 8
+
+    def test_consecutive_channels_share_bank_lines(self):
+        spec = self._spec()
+        offsets = np.arange(8)  # c = 0..7 at (h=0, w=0)
+        line, _, bank = spec.locate(offsets)
+        assert len(np.unique(line)) == 1
+        assert len(np.unique(bank)) == 1
+
+    def test_total_bandwidth(self):
+        assert self._spec().total_bandwidth == 16 * 8
+
+    def test_line_capacity_check(self):
+        with pytest.raises(LayoutError):
+            LayoutSpec(
+                view=TensorView(64, 8, 8),
+                c1_step=64,
+                h1_step=8,
+                w1_step=8,
+                num_banks=2,
+                bandwidth_per_bank=4,
+            )
+
+
+class TestDefaultLayout:
+    def test_default_fills_with_channels_first(self):
+        view = TensorView(c_dim=64, h_dim=8, w_dim=8)
+        spec = LayoutSpec.default_for(view, num_banks=4, bandwidth_per_bank=16)
+        assert spec.c1_step == 64
+        assert spec.line_elements <= 64
+
+    def test_default_small_channel_count(self):
+        view = TensorView(c_dim=3, h_dim=32, w_dim=32)
+        spec = LayoutSpec.default_for(view, num_banks=4, bandwidth_per_bank=16)
+        assert spec.c1_step == 3
+        assert spec.h1_step > 1  # spills into spatial dims
+
+    def test_default_is_valid(self):
+        for banks in (1, 2, 8):
+            spec = LayoutSpec.default_for(TensorView(16, 8, 8), banks, 8)
+            assert spec.line_elements <= banks * 8

@@ -1,0 +1,132 @@
+"""Unit tests for the multi tensor-core simulator."""
+
+import pytest
+
+from repro.core.dataflow import Dataflow, analytical_runtime
+from repro.errors import ConfigError
+from repro.multicore.multicore_sim import CoreSpec, MultiCoreSimulator
+from repro.multicore.noc import NopLink
+from repro.multicore.partition import PartitionScheme
+from repro.multicore.simd import SimdUnit
+from repro.topology.layer import GemmLayer
+from repro.topology.models import toy_gemm
+
+
+def _layer(m=256, n=256, k=256):
+    return GemmLayer("g", m=m, n=n, k=k)
+
+
+class TestHomogeneousGrid:
+    def test_grid_size_checked(self):
+        with pytest.raises(ConfigError):
+            MultiCoreSimulator(
+                cores=[CoreSpec(8, 8)], partitions_row=2, partitions_col=2, dataflow="os"
+            )
+
+    def test_multicore_faster_than_single(self):
+        single = analytical_runtime(_layer().to_gemm(), Dataflow.OUTPUT_STATIONARY, 16, 16)
+        grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        result = grid.simulate_layer(_layer())
+        assert result.latency_cycles < single
+
+    def test_latency_is_max_of_cores(self):
+        grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        result = grid.simulate_layer(_layer())
+        assert result.latency_cycles == max(c.finish_cycles for c in result.cores)
+
+    def test_uniform_cores_finish_together(self):
+        grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        result = grid.simulate_layer(_layer())
+        finishes = {c.finish_cycles for c in result.cores}
+        assert len(finishes) == 1
+
+    def test_all_schemes_run(self):
+        for scheme in PartitionScheme:
+            grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os", scheme=scheme)
+            assert grid.simulate_layer(_layer()).latency_cycles > 0
+
+    def test_simulate_topology(self):
+        grid = MultiCoreSimulator.homogeneous(2, 2, 8, 8, "os")
+        results = grid.simulate_topology(toy_gemm())
+        assert len(results) == 2
+        assert grid.total_latency(toy_gemm()) == sum(r.latency_cycles for r in results)
+
+
+class TestSharedL2:
+    def test_l2_footprint_deduplicated(self):
+        grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        result = grid.simulate_layer(_layer())
+        assert result.l2_footprint_words < result.l1_footprint_words
+
+    def test_l2_fits_flag(self):
+        big = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os", l2_sram_kb=1 << 20)
+        tiny = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os", l2_sram_kb=1)
+        assert big.simulate_layer(_layer()).l2_fits
+        assert not tiny.simulate_layer(_layer()).l2_fits
+
+    def test_l2_required_kb(self):
+        grid = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        result = grid.simulate_layer(_layer())
+        assert result.l2_required_kb == pytest.approx(
+            result.l2_footprint_words * 2 / 1024
+        )
+
+
+class TestHeterogeneousCores:
+    def test_hetero_cores_finish_at_different_times(self):
+        cores = [CoreSpec(8, 8), CoreSpec(32, 32), CoreSpec(8, 8), CoreSpec(32, 32)]
+        grid = MultiCoreSimulator(
+            cores=cores, partitions_row=2, partitions_col=2, dataflow="os"
+        )
+        result = grid.simulate_layer(_layer())
+        assert len({c.finish_cycles for c in result.cores}) > 1
+
+    def test_simd_adds_postprocessing(self):
+        with_simd = MultiCoreSimulator.homogeneous(
+            2, 2, 16, 16, "os", simd=SimdUnit(lanes=16)
+        )
+        without = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os")
+        layer = _layer()
+        assert (
+            with_simd.simulate_layer(layer).latency_cycles
+            > without.simulate_layer(layer).latency_cycles
+        )
+
+    def test_wider_simd_cheaper(self):
+        narrow = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os", simd=SimdUnit(lanes=4))
+        wide = MultiCoreSimulator.homogeneous(2, 2, 16, 16, "os", simd=SimdUnit(lanes=256))
+        layer = _layer()
+        assert (
+            wide.simulate_layer(layer).latency_cycles
+            <= narrow.simulate_layer(layer).latency_cycles
+        )
+
+
+class TestNonUniformPartitioning:
+    def _grid(self, nonuniform):
+        cores = [
+            CoreSpec(16, 16, nop=NopLink(hops=h, latency_per_hop=2000))
+            for h in (0, 1, 2, 12)
+        ]
+        return MultiCoreSimulator(
+            cores=cores,
+            partitions_row=2,
+            partitions_col=2,
+            dataflow="os",
+            nonuniform=nonuniform,
+        )
+
+    def test_nonuniform_not_slower(self):
+        layer = _layer()
+        uniform = self._grid(nonuniform=False).simulate_layer(layer)
+        balanced = self._grid(nonuniform=True).simulate_layer(layer)
+        assert balanced.latency_cycles <= uniform.latency_cycles
+
+    def test_distant_core_gets_less_work(self):
+        result = self._grid(nonuniform=True).simulate_layer(_layer())
+        shares = [c.work_share for c in result.cores]
+        assert shares[3] < shares[0]
+
+    def test_shares_recorded(self):
+        result = self._grid(nonuniform=False).simulate_layer(_layer())
+        assert sum(c.work_share for c in result.cores) == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Unit tests for the NoP model and non-uniform partitioning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.multicore.noc import (
+    NopLink,
+    finish_time_nonuniform,
+    finish_time_uniform,
+    nonuniform_shares,
+)
+
+
+class TestNopLink:
+    def test_base_latency(self):
+        assert NopLink(hops=3, latency_per_hop=4).base_latency == 12
+
+    def test_transfer_cycles(self):
+        link = NopLink(hops=2, latency_per_hop=5, words_per_cycle=2)
+        assert link.transfer_cycles(100) == 10 + 50
+
+    def test_zero_words_free(self):
+        assert NopLink(hops=5).transfer_cycles(0) == 0
+
+    def test_zero_hops(self):
+        assert NopLink(hops=0).transfer_cycles(10) == 10
+
+    def test_bad_values(self):
+        with pytest.raises(ConfigError):
+            NopLink(hops=-1)
+        with pytest.raises(ConfigError):
+            NopLink(hops=1).transfer_cycles(-5)
+
+
+class TestNonuniformShares:
+    def test_uniform_latencies_give_equal_shares(self):
+        shares = nonuniform_shares([5, 5, 5, 5], total_work_cycles=1000)
+        assert shares == pytest.approx([0.25] * 4)
+
+    def test_shares_sum_to_one(self):
+        shares = nonuniform_shares([0, 10, 20, 40], total_work_cycles=1000)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_farther_cores_get_less(self):
+        """The paper's Section III-D: distant chiplets receive less work."""
+        shares = nonuniform_shares([0, 10, 20, 40], total_work_cycles=1000)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_finish_times_equalised(self):
+        lats = [0, 10, 20, 40]
+        work = 1000
+        shares = nonuniform_shares(lats, work)
+        finishes = [s * work + l for s, l in zip(shares, lats) if s > 0]
+        assert max(finishes) - min(finishes) < 1e-6
+
+    def test_hopeless_core_dropped(self):
+        # A core whose NoP latency exceeds the balanced finish time gets 0.
+        shares = nonuniform_shares([0, 0, 10_000], total_work_cycles=100)
+        assert shares[2] == 0.0
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_nonuniform_beats_uniform(self):
+        lats = [0, 8, 16, 64]
+        work = 400
+        assert finish_time_nonuniform(lats, work) <= finish_time_uniform(lats, work)
+
+    def test_uniform_formula(self):
+        assert finish_time_uniform([0, 10], 100) == 60
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            nonuniform_shares([], 100)
+        with pytest.raises(ConfigError):
+            nonuniform_shares([1], 0)
+        with pytest.raises(ConfigError):
+            nonuniform_shares([-1], 100)

@@ -1,0 +1,154 @@
+"""Unit tests for partitioning schemes, footprints, and search."""
+
+import pytest
+
+from repro.core.dataflow import Dataflow, map_gemm
+from repro.errors import MappingError
+from repro.multicore.partition import (
+    PartitionScheme,
+    best_partition,
+    enumerate_partitions,
+    l1_footprint_words,
+    l2_footprint_words,
+    partition_runtime,
+    partition_shape,
+    partition_tradeoff,
+)
+from repro.topology.layer import GemmShape
+
+SHAPE = GemmShape(m=1000, n=1000, k=1000)
+
+
+class TestSchemeParsing:
+    def test_parse(self):
+        assert PartitionScheme.parse("spatial") is PartitionScheme.SPATIAL
+        assert PartitionScheme.parse("SPATIOTEMPORAL_1") is PartitionScheme.SPATIOTEMPORAL_1
+
+    def test_parse_unknown(self):
+        with pytest.raises(MappingError):
+            PartitionScheme.parse("temporal")
+
+
+class TestFootprints:
+    def test_spatial_footprint_formula(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        words = l1_footprint_words(mapping, PartitionScheme.SPATIAL, 2, 4)
+        sr, sc, t = mapping.sr, mapping.sc, mapping.t
+        assert words == sr * t * 4 + t * sc * 2 + sr * sc
+
+    def test_st1_duplicates_outputs_across_pc(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        words = l1_footprint_words(mapping, PartitionScheme.SPATIOTEMPORAL_1, 2, 4)
+        sr, sc, t = mapping.sr, mapping.sc, mapping.t
+        assert words == sr * t + t * sc * 2 + sr * sc * 4
+
+    def test_st2_duplicates_outputs_across_pr(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        words = l1_footprint_words(mapping, PartitionScheme.SPATIOTEMPORAL_2, 2, 4)
+        sr, sc, t = mapping.sr, mapping.sc, mapping.t
+        assert words == sr * t * 4 + t * sc + sr * sc * 2
+
+    def test_l2_dedup_is_smallest(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        l2 = l2_footprint_words(mapping)
+        for scheme in PartitionScheme:
+            assert l2 <= l1_footprint_words(mapping, scheme, 4, 4)
+
+    def test_single_core_footprints_match_l2(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        for scheme in PartitionScheme:
+            assert l1_footprint_words(mapping, scheme, 1, 1) == l2_footprint_words(mapping)
+
+    def test_bad_grid(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        with pytest.raises(MappingError):
+            l1_footprint_words(mapping, PartitionScheme.SPATIAL, 0, 4)
+
+
+class TestPartitionSearch:
+    def test_enumerate_counts_factor_pairs(self):
+        choices = enumerate_partitions(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16
+        )
+        # 16 = 1x16, 2x8, 4x4, 8x2, 16x1.
+        assert len(choices) == 5
+        assert all(c.num_cores == 16 for c in choices)
+
+    def test_best_by_cycles(self):
+        best = best_partition(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16, "cycles"
+        )
+        all_choices = enumerate_partitions(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16
+        )
+        assert best.runtime_cycles == min(c.runtime_cycles for c in all_choices)
+
+    def test_best_by_footprint(self):
+        best = best_partition(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16, "footprint"
+        )
+        all_choices = enumerate_partitions(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16
+        )
+        assert best.l1_footprint == min(c.l1_footprint for c in all_choices)
+
+    def test_bad_objective(self):
+        with pytest.raises(MappingError):
+            best_partition(
+                SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 16, 16, 16, "power"
+            )
+
+    def test_tradeoff_covers_all_schemes(self):
+        tradeoff = partition_tradeoff(SHAPE, Dataflow.OUTPUT_STATIONARY, 16, 16, 16)
+        assert set(tradeoff) == set(PartitionScheme)
+
+    def test_partitioning_reduces_runtime(self):
+        mapping = map_gemm(SHAPE, Dataflow.OUTPUT_STATIONARY)
+        single = partition_runtime(mapping, PartitionScheme.SPATIAL, 16, 16, 1, 1)
+        for scheme in PartitionScheme:
+            multi = partition_runtime(mapping, scheme, 16, 16, 4, 4)
+            assert multi < single
+
+    def test_spatiotemporal_beats_spatial_on_footprint_at_equal_cycles(self):
+        """Figure 3a's point: among compute-optimised points, the
+        spatio-temporal schemes reach (nearly) the same cycles with a
+        smaller memory footprint for temporally-dominated GEMMs."""
+        shape = GemmShape(m=64, n=64, k=100_000)
+        tradeoff = partition_tradeoff(
+            shape, Dataflow.OUTPUT_STATIONARY, 16, 16, 16, objective="cycles"
+        )
+        spatial = tradeoff[PartitionScheme.SPATIAL]
+        st_best = min(
+            (tradeoff[PartitionScheme.SPATIOTEMPORAL_1], tradeoff[PartitionScheme.SPATIOTEMPORAL_2]),
+            key=lambda c: c.l1_footprint,
+        )
+        assert st_best.l1_footprint < spatial.l1_footprint
+        assert st_best.runtime_cycles <= spatial.runtime_cycles * 1.01
+
+
+class TestPartitionShape:
+    def test_spatial_os_splits_m_and_n(self):
+        sub = partition_shape(SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 2, 4)
+        assert (sub.m, sub.n, sub.k) == (500, 250, 1000)
+
+    def test_spatial_ws_splits_k_and_m(self):
+        sub = partition_shape(SHAPE, Dataflow.WEIGHT_STATIONARY, PartitionScheme.SPATIAL, 2, 4)
+        assert (sub.m, sub.n, sub.k) == (250, 1000, 500)
+
+    def test_st1_os_splits_m_and_k(self):
+        sub = partition_shape(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIOTEMPORAL_1, 2, 4
+        )
+        assert (sub.m, sub.n, sub.k) == (500, 1000, 250)
+
+    def test_st2_os_splits_k_and_n(self):
+        sub = partition_shape(
+            SHAPE, Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIOTEMPORAL_2, 2, 4
+        )
+        assert (sub.m, sub.n, sub.k) == (1000, 250, 500)
+
+    def test_ceiling_shares(self):
+        sub = partition_shape(
+            GemmShape(m=10, n=10, k=10), Dataflow.OUTPUT_STATIONARY, PartitionScheme.SPATIAL, 3, 3
+        )
+        assert (sub.m, sub.n) == (4, 4)

@@ -1,0 +1,50 @@
+"""Unit tests for the SIMD / vector unit model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.multicore.simd import DEFAULT_OP_LATENCY, SimdUnit
+
+
+class TestSimdUnit:
+    def test_cycles_scale_with_elements(self):
+        unit = SimdUnit(lanes=16)
+        assert unit.cycles(16) == 1
+        assert unit.cycles(17) == 2
+        assert unit.cycles(160) == 10
+
+    def test_zero_elements_free(self):
+        assert SimdUnit(lanes=8).cycles(0) == 0
+
+    def test_latency_per_element(self):
+        slow = SimdUnit(lanes=16, latency_per_element=4.0)
+        assert slow.cycles(16) == 4
+
+    def test_op_table_scales(self):
+        unit = SimdUnit(lanes=16)
+        assert unit.cycles(16, op="softmax") == DEFAULT_OP_LATENCY["softmax"]
+        assert unit.cycles(16, op="relu") == 1
+
+    def test_unknown_op_uses_base(self):
+        unit = SimdUnit(lanes=16)
+        assert unit.cycles(16, op="mystery") == unit.cycles(16)
+
+    def test_wider_unit_faster(self):
+        narrow = SimdUnit(lanes=8)
+        wide = SimdUnit(lanes=128)
+        assert wide.cycles(1024) < narrow.cycles(1024)
+
+    def test_minimum_one_cycle(self):
+        assert SimdUnit(lanes=1024).cycles(1) == 1
+
+    def test_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            SimdUnit(lanes=0)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigError):
+            SimdUnit(lanes=4, latency_per_element=0)
+
+    def test_negative_elements(self):
+        with pytest.raises(ConfigError):
+            SimdUnit(lanes=4).cycles(-1)

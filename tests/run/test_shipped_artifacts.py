@@ -1,0 +1,71 @@
+"""The shipped configs/ and topologies/ files must stay loadable and
+consistent with the built-in presets and model zoo."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.config.parser import load_config
+from repro.config.presets import get_preset
+from repro.run.cli import main
+from repro.topology.models import get_model
+from repro.topology.topology import Topology
+
+REPO = Path(__file__).parent.parent.parent
+CONFIGS = sorted((REPO / "configs").glob("*.cfg"))
+TOPOLOGIES = sorted((REPO / "topologies").glob("*.csv"))
+
+
+class TestShippedConfigs:
+    @pytest.mark.parametrize("path", CONFIGS, ids=lambda p: p.stem)
+    def test_loads(self, path):
+        config = load_config(path)
+        assert config.run.run_name == path.stem
+
+    def test_tpu_config_matches_preset(self):
+        shipped = load_config(REPO / "configs" / "google_tpu_v2.cfg")
+        preset = get_preset("google_tpu_v2")
+        assert shipped.arch.array_rows == preset.arch.array_rows
+        assert shipped.dram.technology == preset.dram.technology
+        assert shipped.dram.read_queue_entries == preset.dram.read_queue_entries
+
+    def test_sparse_config_enables_rowwise(self):
+        config = load_config(REPO / "configs" / "sparse_32x32.cfg")
+        assert config.sparsity.sparsity_support
+        assert config.sparsity.optimized_mapping
+        assert config.sparsity.block_size == 4
+
+
+class TestShippedTopologies:
+    @pytest.mark.parametrize("path", TOPOLOGIES, ids=lambda p: p.stem)
+    def test_loads(self, path):
+        topo = Topology.from_csv(path)
+        assert len(topo) >= 1
+
+    def test_resnet18_conv_matches_zoo(self):
+        shipped = Topology.from_csv(REPO / "topologies" / "resnet18_conv.csv")
+        zoo = [l for l in get_model("resnet18") if hasattr(l, "ifmap_h")]
+        assert len(shipped) == len(zoo)
+        assert shipped[0].to_gemm() == zoo[0].to_gemm()
+
+    def test_vit_base_matches_zoo(self):
+        shipped = Topology.from_csv(REPO / "topologies" / "vit_base.csv")
+        zoo = get_model("vit_base", blocks=1)
+        assert [l.name for l in shipped] == [l.name for l in zoo]
+
+
+class TestCliWithShippedFiles:
+    def test_config_plus_topology(self, tmp_path, capsys):
+        code = main(
+            [
+                "-c",
+                str(REPO / "configs" / "scale_sim_v2_default.cfg"),
+                "-t",
+                str(REPO / "topologies" / "vit_s.csv"),
+                "-p",
+                str(tmp_path),
+                "--no-reports",
+            ]
+        )
+        assert code == 0
+        assert "total cycles:" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Unit tests for compressed storage formats (Figure 6 semantics)."""
+
+import pytest
+
+from repro.errors import SparsityError
+from repro.sparsity.formats import (
+    blocked_ellpack_storage,
+    csc_storage,
+    csr_storage,
+    dense_storage,
+    storage_for_representation,
+)
+from repro.sparsity.pattern import layerwise_pattern
+from repro.topology.layer import SparsityRatio
+
+
+class TestDenseStorage:
+    def test_bits(self):
+        est = dense_storage(4, 8, word_bits=16)
+        assert est.data_bits == 4 * 8 * 16
+        assert est.metadata_bits == 0
+
+    def test_bytes_and_kb(self):
+        est = dense_storage(64, 64, word_bits=16)
+        assert est.total_bytes == 64 * 64 * 2
+        assert est.total_kb == pytest.approx(8.0)
+
+    def test_bad_word_bits(self):
+        with pytest.raises(SparsityError):
+            dense_storage(4, 4, word_bits=0)
+
+
+class TestBlockedEllpack:
+    def test_figure6_metadata_bits(self):
+        # Block size 4 -> log2(4) = 2 metadata bits per non-zero.
+        pattern = layerwise_pattern(4, 16, SparsityRatio(2, 4))
+        est = blocked_ellpack_storage(pattern, word_bits=16)
+        assert est.metadata_bits == pattern.total_nnz * 2
+
+    def test_data_bits_are_nnz_words(self):
+        pattern = layerwise_pattern(4, 16, SparsityRatio(1, 4))
+        est = blocked_ellpack_storage(pattern, word_bits=16)
+        assert est.data_bits == pattern.total_nnz * 16
+
+    def test_compression_monotone_in_sparsity(self):
+        dense_est = dense_storage(64, 64)
+        sizes = []
+        for n in (1, 2, 3, 4):
+            pattern = layerwise_pattern(64, 64, SparsityRatio(n, 4))
+            sizes.append(blocked_ellpack_storage(pattern).total_bits)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > dense_est.total_bits * 0.9  # 4:4 ~ dense + metadata
+
+    def test_2_4_halves_data(self):
+        pattern = layerwise_pattern(64, 64, SparsityRatio(2, 4))
+        est = blocked_ellpack_storage(pattern)
+        dense_est = dense_storage(64, 64)
+        assert est.data_bits == dense_est.data_bits // 2
+
+
+class TestCsrCsc:
+    def test_csr_has_pointers_and_indices(self):
+        pattern = layerwise_pattern(8, 32, SparsityRatio(2, 4))
+        est = csr_storage(pattern)
+        assert est.metadata_bits > 0
+        assert est.representation == "csr"
+
+    def test_csc_differs_from_csr_for_rectangular(self):
+        pattern = layerwise_pattern(4, 256, SparsityRatio(2, 4))
+        assert csr_storage(pattern).metadata_bits != csc_storage(pattern).metadata_bits
+
+    def test_ellpack_metadata_cheaper_than_csr(self):
+        # In-block indices (2 bits) beat full column indices (log2 cols).
+        pattern = layerwise_pattern(64, 1024, SparsityRatio(2, 4))
+        assert (
+            blocked_ellpack_storage(pattern).metadata_bits
+            < csr_storage(pattern).metadata_bits
+        )
+
+
+class TestDispatchAndRatios:
+    def test_dispatch(self):
+        pattern = layerwise_pattern(4, 16, SparsityRatio(2, 4))
+        for rep in ("csr", "csc", "ellpack_block"):
+            assert storage_for_representation(rep, pattern).representation == rep
+
+    def test_unknown_representation(self):
+        pattern = layerwise_pattern(4, 16, SparsityRatio(2, 4))
+        with pytest.raises(SparsityError):
+            storage_for_representation("coo", pattern)
+
+    def test_compression_ratio(self):
+        pattern = layerwise_pattern(64, 64, SparsityRatio(1, 4))
+        dense_est = dense_storage(64, 64)
+        ratio = blocked_ellpack_storage(pattern).compression_ratio(dense_est)
+        # 1:4 keeps 25% of data + 2/16 metadata -> ~3.5x saving.
+        assert 3.0 < ratio < 4.0

@@ -1,0 +1,124 @@
+"""Unit tests for layer dataclasses and GEMM lowering."""
+
+import pytest
+
+from repro.errors import SparsityError, TopologyError
+from repro.topology.layer import ConvLayer, GemmLayer, GemmShape, SparsityRatio
+
+
+class TestSparsityRatio:
+    def test_parse(self):
+        ratio = SparsityRatio.parse("2:4")
+        assert (ratio.n, ratio.m) == (2, 4)
+
+    def test_density(self):
+        assert SparsityRatio(1, 4).density == 0.25
+
+    def test_dense(self):
+        assert SparsityRatio(4, 4).is_dense
+
+    def test_advantageous_boundary(self):
+        # Paper IV-A2: useful sparsity requires N <= M/2.
+        assert SparsityRatio(2, 4).is_computationally_advantageous
+        assert not SparsityRatio(3, 4).is_computationally_advantageous
+
+    def test_str_round_trip(self):
+        assert str(SparsityRatio.parse("1:8")) == "1:8"
+
+    def test_n_greater_than_m_rejected(self):
+        with pytest.raises(SparsityError):
+            SparsityRatio(5, 4)
+
+    def test_bad_parse(self):
+        with pytest.raises(SparsityError):
+            SparsityRatio.parse("2-4")
+        with pytest.raises(SparsityError):
+            SparsityRatio.parse("a:b")
+
+
+class TestGemmShape:
+    def test_macs(self):
+        assert GemmShape(2, 3, 4).macs == 24
+
+    def test_operand_words_follow_w_mk_x_kn_convention(self):
+        shape = GemmShape(m=2, n=3, k=5)
+        assert shape.filter_words == 10  # W is M x K
+        assert shape.ifmap_words == 15  # X is K x N
+        assert shape.ofmap_words == 6
+
+    def test_total_operand_words(self):
+        shape = GemmShape(2, 3, 5)
+        assert shape.total_operand_words == 10 + 15 + 6
+
+    @pytest.mark.parametrize("m,n,k", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_nonpositive_dims_rejected(self, m, n, k):
+        with pytest.raises(TopologyError):
+            GemmShape(m, n, k)
+
+
+class TestConvLayer:
+    def _layer(self, **kwargs):
+        defaults = dict(
+            name="c",
+            ifmap_h=8,
+            ifmap_w=8,
+            filter_h=3,
+            filter_w=3,
+            channels=4,
+            num_filters=16,
+        )
+        defaults.update(kwargs)
+        return ConvLayer(**defaults)
+
+    def test_ofmap_dims_valid_conv(self):
+        layer = self._layer()
+        assert (layer.ofmap_h, layer.ofmap_w) == (6, 6)
+
+    def test_ofmap_dims_with_stride(self):
+        layer = self._layer(stride_h=2, stride_w=2)
+        assert (layer.ofmap_h, layer.ofmap_w) == (3, 3)
+
+    def test_window_size(self):
+        assert self._layer().window_size == 3 * 3 * 4
+
+    def test_to_gemm_convention(self):
+        # M = filters, N = ofmap pixels, K = window (paper Table II).
+        gemm = self._layer().to_gemm()
+        assert gemm.m == 16
+        assert gemm.n == 36
+        assert gemm.k == 36
+
+    def test_footprints(self):
+        layer = self._layer()
+        assert layer.ifmap_words == 8 * 8 * 4
+        assert layer.filter_words == 36 * 16
+        assert layer.ofmap_words == 36 * 16
+
+    def test_filter_larger_than_ifmap_rejected(self):
+        with pytest.raises(TopologyError):
+            self._layer(filter_h=9)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(TopologyError):
+            self._layer(channels=0)
+
+
+class TestGemmLayer:
+    def test_identity_lowering(self):
+        layer = GemmLayer("g", m=5, n=6, k=7)
+        gemm = layer.to_gemm()
+        assert (gemm.m, gemm.n, gemm.k) == (5, 6, 7)
+
+    def test_operand_words(self):
+        layer = GemmLayer("g", m=5, n=6, k=7)
+        assert layer.ifmap_words == 42
+        assert layer.filter_words == 35
+        assert layer.ofmap_words == 30
+
+    def test_sparsity_annotation(self):
+        layer = GemmLayer("g", m=4, n=4, k=4, sparsity=SparsityRatio(2, 4))
+        assert layer.sparsity.density == 0.5
+
+    def test_bad_dims(self):
+        with pytest.raises(TopologyError):
+            GemmLayer("g", m=0, n=1, k=1)

@@ -1,0 +1,81 @@
+"""Unit tests for the built-in model zoo."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.models import available_models, get_model
+
+
+class TestModelZoo:
+    def test_all_models_construct(self):
+        for name in available_models():
+            topo = get_model(name)
+            assert len(topo) >= 1
+
+    def test_unknown_model(self):
+        with pytest.raises(TopologyError):
+            get_model("vgg99")
+
+    def test_resnet18_structure(self):
+        topo = get_model("resnet18")
+        assert topo[0].name == "conv1"
+        assert isinstance(topo[0], ConvLayer)
+        assert topo[0].stride_h == 2
+        assert isinstance(topo.layer_named("fc"), GemmLayer)
+        assert len(topo) == 18
+
+    def test_resnet18_conv1_gemm_shape(self):
+        gemm = get_model("resnet18")[0].to_gemm()
+        assert gemm.m == 64  # filters
+        assert gemm.k == 7 * 7 * 3  # window
+        assert gemm.n == 109 * 109  # (224-7)//2+1 squared
+
+    def test_vit_base_block_layers(self):
+        topo = get_model("vit_base", blocks=1)
+        names = [layer.name for layer in topo]
+        assert names == [
+            "block0_qkv",
+            "block0_attn_qk",
+            "block0_attn_v",
+            "block0_proj",
+            "block0_ff1",
+            "block0_ff2",
+        ]
+
+    def test_vit_base_ff_dimensions(self):
+        topo = get_model("vit_base", blocks=1)
+        ff1 = topo.layer_named("block0_ff1")
+        assert (ff1.m, ff1.n, ff1.k) == (3072, 197, 768)
+
+    def test_vit_sizes_ordered(self):
+        small = get_model("vit_s", blocks=1).total_macs()
+        base = get_model("vit_base", blocks=1).total_macs()
+        large = get_model("vit_l", blocks=1).total_macs()
+        assert small < base < large
+
+    def test_scale_shrinks_macs(self):
+        full = get_model("resnet18").total_macs()
+        scaled = get_model("resnet18", scale=8).total_macs()
+        assert scaled < full / 10
+
+    def test_scale_keeps_kernel_feasible(self):
+        # Even at extreme scale, filters must fit in the ifmap.
+        topo = get_model("resnet18", scale=64)
+        for layer in topo:
+            if isinstance(layer, ConvLayer):
+                assert layer.filter_h <= layer.ifmap_h
+
+    def test_toy_models_ignore_scale_kwarg(self):
+        assert len(get_model("toy_gemm", scale=4)) == 2
+
+    def test_vit_ff_is_figure8_workload(self):
+        topo = get_model("vit_ff")
+        assert [layer.name for layer in topo] == ["ff1", "ff2"]
+
+    def test_alexnet_first_layer_stride(self):
+        assert get_model("alexnet")[0].stride_h == 4
+
+    def test_rcnn_has_roi_head(self):
+        topo = get_model("rcnn")
+        assert isinstance(topo.layer_named("roi_fc6"), GemmLayer)

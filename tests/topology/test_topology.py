@@ -1,0 +1,117 @@
+"""Unit tests for the Topology container and CSV io."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.layer import ConvLayer, GemmLayer
+from repro.topology.topology import Topology
+
+
+def _conv(name="c1", **kw):
+    defaults = dict(
+        name=name, ifmap_h=8, ifmap_w=8, filter_h=3, filter_w=3, channels=4, num_filters=8
+    )
+    defaults.update(kw)
+    return ConvLayer(**defaults)
+
+
+class TestTopologyContainer:
+    def test_iteration_order(self):
+        topo = Topology("t", [_conv("a"), _conv("b")])
+        assert [layer.name for layer in topo] == ["a", "b"]
+
+    def test_len_and_indexing(self):
+        topo = Topology("t", [_conv("a"), _conv("b")])
+        assert len(topo) == 2
+        assert topo[1].name == "b"
+
+    def test_layer_named(self):
+        topo = Topology("t", [_conv("a"), _conv("b")])
+        assert topo.layer_named("b").name == "b"
+        with pytest.raises(TopologyError):
+            topo.layer_named("zzz")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [_conv("a"), _conv("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [])
+
+    def test_subset(self):
+        topo = Topology("t", [_conv("a"), _conv("b"), _conv("c")])
+        sub = topo.subset(["c", "a"])
+        assert [layer.name for layer in sub] == ["c", "a"]
+
+    def test_first_layers(self):
+        topo = Topology("t", [_conv("a"), _conv("b"), _conv("c")])
+        assert len(topo.first_layers(2)) == 2
+
+    def test_first_layers_bad_count(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [_conv("a")]).first_layers(0)
+
+    def test_total_macs(self):
+        topo = Topology("t", [GemmLayer("g", m=2, n=3, k=4)])
+        assert topo.total_macs() == 24
+
+    def test_with_sparsity_string(self):
+        topo = Topology("t", [_conv("a"), GemmLayer("g", m=4, n=4, k=8)])
+        sparse = topo.with_sparsity("2:4")
+        assert all(layer.sparsity is not None for layer in sparse)
+        assert sparse[0].sparsity.n == 2
+
+
+class TestCsvIo:
+    def test_conv_round_trip(self, tmp_path):
+        topo = Topology("t", [_conv("a"), _conv("b", stride_h=2, stride_w=2)])
+        path = tmp_path / "t.csv"
+        topo.to_csv(path)
+        loaded = Topology.from_csv(path)
+        assert len(loaded) == 2
+        assert loaded[1].stride_h == 2
+
+    def test_gemm_round_trip(self, tmp_path):
+        topo = Topology("t", [GemmLayer("g1", m=4, n=5, k=6)])
+        path = tmp_path / "t.csv"
+        topo.to_csv(path)
+        loaded = Topology.from_csv(path)
+        assert loaded[0].m == 4
+        assert loaded[0].k == 6
+
+    def test_sparsity_column_round_trip(self, tmp_path):
+        topo = Topology("t", [_conv("a")]).with_sparsity("1:4")
+        path = tmp_path / "t.csv"
+        topo.to_csv(path)
+        loaded = Topology.from_csv(path)
+        assert str(loaded[0].sparsity) == "1:4"
+
+    def test_scale_sim_classic_format(self, tmp_path):
+        # The classic SCALE-Sim topology dialect with trailing comma.
+        path = tmp_path / "classic.csv"
+        path.write_text(
+            "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,"
+            " Channels, Num Filter, Strides,\n"
+            "Conv1, 227, 227, 11, 11, 3, 96, 4,\n"
+        )
+        topo = Topology.from_csv(path)
+        assert topo[0].name == "Conv1"
+        assert topo[0].stride_h == 4
+
+    def test_mixed_topology_to_conv_csv_rejected(self, tmp_path):
+        topo = Topology("t", [_conv("a"), GemmLayer("g", m=2, n=2, k=2)])
+        with pytest.raises(TopologyError):
+            topo.to_csv(tmp_path / "t.csv")
+
+    def test_bad_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("Layer name, M, N, K\nonly_name\n")
+        with pytest.raises(TopologyError):
+            Topology.from_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TopologyError):
+            Topology.from_csv(path)

@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.csvio."""
+
+import pytest
+
+from repro.errors import ReportError, TopologyError
+from repro.utils.csvio import read_csv_rows, write_csv, write_dict_rows
+
+
+class TestReadCsvRows:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        rows = read_csv_rows(path)
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n\n1,2\n  \n")
+        assert len(read_csv_rows(path)) == 2
+
+    def test_skips_comment_lines(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# header comment\na,b\n1,2\n")
+        assert read_csv_rows(path)[0] == ["a", "b"]
+
+    def test_strips_whitespace(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(" a , b \n")
+        assert read_csv_rows(path) == [["a", "b"]]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TopologyError):
+            read_csv_rows(tmp_path / "nope.csv")
+
+
+class TestWriteCsv:
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "t.csv"
+        write_csv(path, ["x"], [[1]])
+        assert path.exists()
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ReportError):
+            write_csv(tmp_path / "t.csv", ["a", "b"], [[1]])
+
+
+class TestWriteDictRows:
+    def test_header_from_first_row(self, tmp_path):
+        path = write_dict_rows(tmp_path / "t.csv", [{"x": 1, "y": 2}])
+        assert read_csv_rows(path)[0] == ["x", "y"]
+
+    def test_explicit_field_order(self, tmp_path):
+        path = write_dict_rows(
+            tmp_path / "t.csv", [{"x": 1, "y": 2}], field_order=["y", "x"]
+        )
+        assert read_csv_rows(path)[0] == ["y", "x"]
+
+    def test_missing_keys_become_empty(self, tmp_path):
+        path = write_dict_rows(
+            tmp_path / "t.csv", [{"x": 1}], field_order=["x", "z"]
+        )
+        assert read_csv_rows(path)[1] == ["1", ""]
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ReportError):
+            write_dict_rows(tmp_path / "t.csv", [])

@@ -1,0 +1,109 @@
+"""Unit tests for repro.utils.math."""
+
+import pytest
+
+from repro.utils.math import (
+    ceil_div,
+    clamp,
+    ilog2_ceil,
+    is_power_of_two,
+    next_power_of_two,
+    prod,
+)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_one_denominator(self):
+        assert ceil_div(7, 1) == 7
+
+    def test_numerator_smaller_than_denominator(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_negative_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, -2)
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod([]) == 1
+
+    def test_single(self):
+        assert prod([7]) == 7
+
+    def test_many(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_with_zero(self):
+        assert prod([5, 0, 3]) == 0
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-3, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(42, 0, 10) == 10
+
+    def test_degenerate_range(self):
+        assert clamp(5, 7, 7) == 7
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(5, 10, 0)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 8, 1024, 1 << 30])
+    def test_is_power_of_two_true(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -1, 3, 6, 12, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not is_power_of_two(value)
+
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (17, 32), (1024, 1024)]
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+    def test_next_power_of_two_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestIlog2Ceil:
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)]
+    )
+    def test_values(self, value, expected):
+        assert ilog2_ceil(value) == expected
+
+    def test_block_size_four_needs_two_bits(self):
+        # Figure 6's example: metadata bits = log2(block size) = log2(4).
+        assert ilog2_ceil(4) == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2_ceil(0)

@@ -1,0 +1,40 @@
+"""Unit tests for deterministic RNG helpers."""
+
+from repro.utils.rng import DEFAULT_SEED, derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1_000_000, size=10)
+        b = make_rng(2).integers(0, 1_000_000, size=10)
+        assert (a != b).any()
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).integers(0, 1000, size=5)
+        b = make_rng(DEFAULT_SEED).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+
+class TestDeriveRng:
+    def test_streams_are_independent(self):
+        parent = make_rng(7)
+        s0 = derive_rng(parent, 0).integers(0, 1_000_000, size=10)
+        s1 = derive_rng(parent, 1).integers(0, 1_000_000, size=10)
+        assert (s0 != s1).any()
+
+    def test_streams_are_reproducible(self):
+        a = derive_rng(make_rng(7), 3).integers(0, 1000, size=5)
+        b = derive_rng(make_rng(7), 3).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_order_independent(self):
+        parent = make_rng(7)
+        _ = derive_rng(parent, 0)
+        late = derive_rng(parent, 5).integers(0, 1000, size=5)
+        fresh = derive_rng(make_rng(7), 5).integers(0, 1000, size=5)
+        assert (late == fresh).all()

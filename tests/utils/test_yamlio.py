@@ -1,0 +1,79 @@
+"""Unit tests for the minimal YAML emitter/parser."""
+
+import pytest
+
+from repro.utils.yamlio import dump_yaml, parse_simple_yaml, write_yaml
+
+
+class TestDumpYaml:
+    def test_flat_mapping(self):
+        assert dump_yaml({"a": 1, "b": "x"}) == "a: 1\nb: x\n"
+
+    def test_nested_mapping(self):
+        text = dump_yaml({"outer": {"inner": 2}})
+        assert "outer:" in text
+        assert "  inner: 2" in text
+
+    def test_list_of_scalars(self):
+        text = dump_yaml({"items": [1, 2]})
+        assert "- 1" in text and "- 2" in text
+
+    def test_booleans_and_null(self):
+        text = dump_yaml({"t": True, "f": False, "n": None})
+        assert "t: true" in text and "f: false" in text and "n: null" in text
+
+    def test_quotes_special_chars(self):
+        text = dump_yaml({"k": "a: b"})
+        assert 'k: "a: b"' in text
+
+    def test_empty_mapping(self):
+        assert dump_yaml({}) == "{}\n"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"a": 1},
+            {"a": {"b": {"c": 3}}},
+            {"a": [1, 2, 3]},
+            {"a": [{"x": 1, "y": 2}, {"x": 3, "y": 4}]},
+            {"a": 1.5, "b": "text", "c": True, "d": None},
+            {"mixed": {"list": [1, 2], "scalar": "v"}},
+        ],
+    )
+    def test_round_trip(self, data):
+        assert parse_simple_yaml(dump_yaml(data)) == data
+
+    def test_list_item_with_nested_mapping(self):
+        data = {"local": [{"name": "pe", "attributes": {"width": 16}}]}
+        assert parse_simple_yaml(dump_yaml(data)) == data
+
+    def test_accelergy_like_structure(self):
+        data = {
+            "architecture": {
+                "version": "0.4",
+                "subtree": [
+                    {
+                        "name": "system",
+                        "local": [
+                            {"name": "sram", "class": "smartbuffer", "attributes": {"depth": 1024}},
+                        ],
+                    }
+                ],
+            }
+        }
+        assert parse_simple_yaml(dump_yaml(data)) == data
+
+
+class TestWriteYaml:
+    def test_writes_file(self, tmp_path):
+        path = write_yaml(tmp_path / "a" / "b.yaml", {"k": "v"})
+        assert path.read_text() == "k: v\n"
+
+    def test_parse_empty(self):
+        assert parse_simple_yaml("") == {}
+        assert parse_simple_yaml("{}") == {}
+
+    def test_parse_comments_skipped(self):
+        assert parse_simple_yaml("# comment\na: 1\n") == {"a": 1}
