@@ -13,6 +13,7 @@ reproduction asserts; headers note the scale used.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -21,6 +22,10 @@ import pytest
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Worker-pool size for the sweep-based benchmarks: parallel on multicore
+#: machines, plain serial execution on single-core CI boxes.
+SWEEP_WORKERS = max(1, min(4, os.cpu_count() or 1))
 
 
 @pytest.fixture(scope="session")

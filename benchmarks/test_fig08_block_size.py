@@ -15,41 +15,55 @@ large M performs best.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
-from repro.sparsity.pattern import layerwise_pattern
-from repro.sparsity.sparse_compute import SparseComputeSimulator
-from repro.topology.layer import SparsityRatio
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
+from repro.config.system import ArchitectureConfig, SparsityConfig, SystemConfig
+from repro.run.sweep import ResultCache, SweepRunner, SweepSpec
 from repro.topology.models import vit_ff_layers
+from repro.topology.topology import Topology
 
 SCALE = 2
 
+#: Shared across both run sets: set 1's 32x32 column (block == 32) is the
+#: same grid as set 2's M=32 block-size row, so those points are cache hits.
+_CACHE = ResultCache()
 
-def _cycles(array: int, n: int, m: int) -> int:
-    sim = SparseComputeSimulator(array, array)
-    total = 0
-    for layer in vit_ff_layers(scale=SCALE):
-        shape = layer.to_gemm()
-        pattern = layerwise_pattern(shape.m, shape.k, SparsityRatio(n, m))
-        total += sim.simulate_layer(
-            layer, pattern=pattern, with_fold_specs=False
-        ).sparse_compute_cycles
-    return total
+
+def _sparse_ff(n: int, m: int) -> Topology:
+    base = vit_ff_layers(scale=SCALE).with_sparsity(f"{n}:{m}")
+    return Topology(f"vit_ff_{n}of{m}", base.layers)
+
+
+def _cycles(array: int, ratios: list[tuple[int, int]]) -> list[int]:
+    """Sparse compute cycles for each N:M ratio on an ``array``-sized PE grid."""
+    spec = SweepSpec(
+        base=SystemConfig(
+            arch=ArchitectureConfig(array_rows=array, array_cols=array, dataflow="ws"),
+            sparsity=SparsityConfig(sparsity_support=True),
+        ),
+        topologies=[_sparse_ff(n, m) for n, m in ratios],
+        name=f"fig08_{array}x{array}",
+        simulate_dense=False,  # Figure 8 only reads the sparse cycles
+    )
+    results = SweepRunner(workers=SWEEP_WORKERS, cache=_CACHE).run(spec)
+    return [result.sparse_compute_cycles for result in results]
 
 
 def _set1():
     rows = []
     for array in (4, 8, 16, 32):
         m = array  # block tied to array dimension
-        for n in range(1, m + 1):
-            rows.append([f"{array}x{array}", f"{n}:{m}", _cycles(array, n, m)])
+        ratios = [(n, m) for n in range(1, m + 1)]
+        for (n, _), cycles in zip(ratios, _cycles(array, ratios)):
+            rows.append([f"{array}x{array}", f"{n}:{m}", cycles])
     return rows
 
 
 def _set2():
     rows = []
     for m in (4, 8, 16, 32):
-        for n in range(1, m + 1):
-            rows.append(["32x32", f"{n}:{m}", _cycles(32, n, m)])
+        ratios = [(n, m) for n in range(1, m + 1)]
+        for (n, _), cycles in zip(ratios, _cycles(32, ratios)):
+            rows.append(["32x32", f"{n}:{m}", cycles])
     return rows
 
 

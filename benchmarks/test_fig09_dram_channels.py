@@ -11,10 +11,11 @@ sweeping 1..8 channels.  Reproduced claims:
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
 from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
-from repro.core.simulator import Simulator
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
 from repro.topology.models import resnet18
+from repro.topology.topology import Topology
 
 CHANNELS = (1, 2, 4, 8)
 SCALE = 8
@@ -23,21 +24,26 @@ LAYERS = ("conv1", "conv2_1a", "conv3_1b", "conv4_1b", "conv5_1b", "fc")
 
 def _throughputs():
     """Per-layer memory throughput (MB/s) for each channel count."""
-    table: dict[str, list[float]] = {name: [] for name in LAYERS}
     topo = resnet18(scale=SCALE).subset(list(LAYERS))
-    for channels in CHANNELS:
-        cfg = SystemConfig(
+    spec = SweepSpec(
+        base=SystemConfig(
             arch=ArchitectureConfig(array_rows=128, array_cols=128, dataflow="ws",
                                     ifmap_sram_kb=1024, filter_sram_kb=1024,
                                     ofmap_sram_kb=1024),
-            dram=DramConfig(enabled=True, technology="ddr4", channels=channels),
-        )
-        sim = Simulator(cfg)
-        for layer in topo:
-            result = sim.run_layer(layer)
-            dram_bytes = result.compute.total_dram_words * 2
-            seconds = result.total_cycles * 0.833e-9  # DDR4-2400 clock
-            table[layer.name].append(dram_bytes / seconds / 1e6)
+            dram=DramConfig(enabled=True, technology="ddr4"),
+        ),
+        axes=[Axis("dram.channels", CHANNELS)],
+        # One single-layer topology per layer keeps v2's per-layer
+        # semantics: every layer starts on a cold, exclusive backend.
+        topologies=[Topology(layer.name, [layer]) for layer in topo],
+        name="fig09",
+    )
+    table: dict[str, list[float]] = {name: [] for name in LAYERS}
+    for result in SweepRunner(workers=SWEEP_WORKERS).run(spec):
+        layer = result.run_result.layers[0]
+        dram_bytes = layer.compute.total_dram_words * 2
+        seconds = layer.total_cycles * 0.833e-9  # DDR4-2400 clock
+        table[result.topology_name].append(dram_bytes / seconds / 1e6)
     return table
 
 

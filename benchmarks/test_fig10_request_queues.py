@@ -10,42 +10,49 @@ Reproduced claims:
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
+import pytest
+
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
 from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
-from repro.core.simulator import Simulator
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
 from repro.topology.models import get_model
+
+pytestmark = pytest.mark.slow
 
 QUEUES = (32, 128, 512)
 WORKLOADS = (("alexnet", 4), ("resnet18", 4), ("vit_s", 2), ("vit_base", 2))
 
 
-def _run(workload: str, scale: int, queue: int):
+def _sweep():
     # A memory-hungry configuration (wide array, small SRAM, 8 channels,
     # 16-wide issue) so the request queue actually caps the in-flight
     # parallelism; see EXPERIMENTS.md for why the magnitude is smaller
     # than the paper's demand-replay accounting.
-    cfg = SystemConfig(
-        arch=ArchitectureConfig(array_rows=128, array_cols=128, dataflow="ws",
-                                ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=64),
-        dram=DramConfig(
-            enabled=True,
-            technology="ddr4",
-            channels=8,
-            read_queue_entries=queue,
-            write_queue_entries=queue,
-            issue_per_cycle=16,
+    spec = SweepSpec(
+        base=SystemConfig(
+            arch=ArchitectureConfig(array_rows=128, array_cols=128, dataflow="ws",
+                                    ifmap_sram_kb=64, filter_sram_kb=64, ofmap_sram_kb=64),
+            dram=DramConfig(
+                enabled=True, technology="ddr4", channels=8, issue_per_cycle=16
+            ),
         ),
+        axes=[
+            Axis(
+                "queue",
+                QUEUES,
+                fields=("dram.read_queue_entries", "dram.write_queue_entries"),
+            )
+        ],
+        topologies=[get_model(workload, scale=scale) for workload, scale in WORKLOADS],
+        name="fig10",
     )
-    result = Simulator(cfg).run(get_model(workload, scale=scale))
-    stall = result.total_stall_cycles
-    total = result.total_cycles
-    return total, stall / total if total else 0.0
-
-
-def _sweep():
-    table = {}
-    for workload, scale in WORKLOADS:
-        table[workload] = [_run(workload, scale, q) for q in QUEUES]
+    table: dict[str, list[tuple[int, float]]] = {}
+    for result in SweepRunner(workers=SWEEP_WORKERS).run(spec):
+        total = result.total_cycles
+        stall = result.total_stall_cycles
+        table.setdefault(result.topology_name, []).append(
+            (total, stall / total if total else 0.0)
+        )
     return table
 
 

@@ -9,9 +9,13 @@ more banks consistently reduce the slowdown.
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import emit_table
 from repro.layout.integrate import evaluate_layout_slowdown
 from repro.topology.models import resnet18
+
+pytestmark = pytest.mark.slow
 
 BANDWIDTHS = (64, 128, 256, 512, 1024)
 BANKS = (1, 2, 4, 8, 16)

@@ -11,37 +11,41 @@ OS, WS and IS dataflows.  Reproduced claims:
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
+import pytest
+
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
 from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
-from repro.core.simulator import Simulator
-from repro.energy.accelergy import AccelergyLite
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
 from repro.topology.models import get_model
+
+pytestmark = pytest.mark.slow
 
 ARRAYS = (8, 16, 32, 64, 128)
 DATAFLOWS = ("os", "ws", "is")
 WORKLOADS = (("rcnn", 8), ("resnet50", 8), ("vit_base", 4))
 
 
-def _energy_mj(workload: str, scale: int, dataflow: str, array: int) -> float:
-    arch = ArchitectureConfig(
-        array_rows=array, array_cols=array, dataflow=dataflow, bandwidth_words=200
-    )
-    energy = EnergyConfig(enabled=True)
-    run = Simulator(SystemConfig(arch=arch, energy=energy)).run(
-        get_model(workload, scale=scale)
-    )
-    return AccelergyLite(arch, energy).estimate_run(run).total_mj
-
-
 def _sweep():
-    table = {}
-    for workload, scale in WORKLOADS:
-        for dataflow in DATAFLOWS:
-            for array in ARRAYS:
-                table[(workload, dataflow, array)] = _energy_mj(
-                    workload, scale, dataflow, array
-                )
-    return table
+    spec = SweepSpec(
+        base=SystemConfig(
+            arch=ArchitectureConfig(bandwidth_words=200),
+            energy=EnergyConfig(enabled=True),
+        ),
+        axes=[
+            Axis("dataflow", DATAFLOWS, fields=("arch.dataflow",)),
+            Axis("array", ARRAYS, fields=("arch.array_rows", "arch.array_cols")),
+        ],
+        topologies=[get_model(workload, scale=scale) for workload, scale in WORKLOADS],
+        name="fig15",
+    )
+    return {
+        (
+            result.topology_name,
+            result.assignment_dict["dataflow"],
+            result.assignment_dict["array"],
+        ): result.energy_mj
+        for result in SweepRunner(workers=SWEEP_WORKERS).run(spec)
+    }
 
 
 def test_fig15_energy(benchmark, results_dir):

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from benchmarks.conftest import emit_table
 from repro.config.system import (
     ArchitectureConfig,
@@ -20,12 +22,13 @@ from repro.config.system import (
     EnergyConfig,
     SystemConfig,
 )
-from repro.core.simulator import Simulator
-from repro.energy.accelergy import AccelergyLite
 from repro.layout.integrate import evaluate_layout_slowdown
 from repro.multicore.multicore_sim import MultiCoreSimulator
+from repro.run.sweep import single_point
 from repro.sparsity.sparse_compute import SparseComputeSimulator
 from repro.topology.models import get_model
+
+pytestmark = pytest.mark.slow
 
 SCALE = 8
 ARRAY = 32
@@ -41,10 +44,17 @@ def _arch(dataflow="ws"):
     return ArchitectureConfig(array_rows=ARRAY, array_cols=ARRAY, dataflow=dataflow)
 
 
+def _sweep_seconds(config: SystemConfig, topo) -> float:
+    # Features built on the end-to-end simulator run as 1-point sweeps;
+    # every run is timed by the same in-worker clock, so ratios against
+    # the baseline stay apples-to-apples.
+    return single_point(config, topo).wall_seconds
+
+
 def _measure(workload: str):
     topo = get_model(workload, scale=SCALE)
 
-    baseline = _timed(lambda: Simulator(SystemConfig(arch=_arch())).run(topo))
+    baseline = _sweep_seconds(SystemConfig(arch=_arch()), topo)
 
     def run_multicore():
         MultiCoreSimulator.homogeneous(2, 2, ARRAY, ARRAY, "ws").simulate_topology(topo)
@@ -55,28 +65,22 @@ def _measure(workload: str):
         for layer in sparse_topo:
             sim.simulate_layer(layer, with_fold_specs=False)
 
-    def run_accelergy():
-        arch = _arch()
-        energy = EnergyConfig(enabled=True)
-        run = Simulator(SystemConfig(arch=arch, energy=energy)).run(topo)
-        AccelergyLite(arch, energy).estimate_run(run)
-
-    def run_ramulator():
-        cfg = SystemConfig(arch=_arch(), dram=DramConfig(enabled=True, channels=2))
-        Simulator(cfg).run(topo)
-
     def run_layout():
         for layer in topo:
             evaluate_layout_slowdown(layer, "ws", ARRAY, ARRAY, 4, 64, max_folds=4)
 
-    features = {
-        "multicore": run_multicore,
-        "sparsity_2_4": run_sparse,
-        "accelergy": run_accelergy,
-        "ramulator": run_ramulator,
-        "layout": run_layout,
+    seconds = {
+        "multicore": _timed(run_multicore),
+        "sparsity_2_4": _timed(run_sparse),
+        "accelergy": _sweep_seconds(
+            SystemConfig(arch=_arch(), energy=EnergyConfig(enabled=True)), topo
+        ),
+        "ramulator": _sweep_seconds(
+            SystemConfig(arch=_arch(), dram=DramConfig(enabled=True, channels=2)), topo
+        ),
+        "layout": _timed(run_layout),
     }
-    return {name: _timed(fn) / baseline for name, fn in features.items()}
+    return {name: value / baseline for name, value in seconds.items()}
 
 
 def test_tab4_feature_overhead(benchmark, results_dir):

@@ -12,41 +12,40 @@ Reproduced claims (paper headline):
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit_table
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
 from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
-from repro.core.simulator import Simulator
-from repro.energy.accelergy import AccelergyLite
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
 from repro.topology.models import get_model
 
 ARRAYS = (32, 64, 128)
 WORKLOADS = (("resnet50", 4), ("rcnn", 4), ("vit_base", 1))
 
 
-def _point(workload: str, scale: int, array: int):
-    arch = ArchitectureConfig(
-        array_rows=array,
-        array_cols=array,
-        dataflow="ws",
-        ifmap_sram_kb=1024,
-        filter_sram_kb=1024,
-        ofmap_sram_kb=1024,
-        bandwidth_words=100,
-    )
-    energy = EnergyConfig(enabled=True)
-    run = Simulator(SystemConfig(arch=arch, energy=energy)).run(
-        get_model(workload, scale=scale)
-    )
-    report = AccelergyLite(arch, energy).estimate_run(run)
-    latency_per_layer = run.total_cycles / len(run.layers)
-    return latency_per_layer, report.total_mj, latency_per_layer * report.total_mj
-
-
 def _sweep():
-    return {
-        (workload, array): _point(workload, scale, array)
-        for workload, scale in WORKLOADS
-        for array in ARRAYS
-    }
+    spec = SweepSpec(
+        base=SystemConfig(
+            arch=ArchitectureConfig(
+                dataflow="ws",
+                ifmap_sram_kb=1024,
+                filter_sram_kb=1024,
+                ofmap_sram_kb=1024,
+                bandwidth_words=100,
+            ),
+            energy=EnergyConfig(enabled=True),
+        ),
+        axes=[Axis("array", ARRAYS, fields=("arch.array_rows", "arch.array_cols"))],
+        topologies=[get_model(workload, scale=scale) for workload, scale in WORKLOADS],
+        name="tab05",
+    )
+    table = {}
+    for result in SweepRunner(workers=SWEEP_WORKERS).run(spec):
+        latency_per_layer = result.total_cycles / len(result.run_result.layers)
+        table[(result.topology_name, result.assignment_dict["array"])] = (
+            latency_per_layer,
+            result.energy_mj,
+            latency_per_layer * result.energy_mj,
+        )
+    return table
 
 
 def test_tab5_latency_energy_edp(benchmark, results_dir):

@@ -5,6 +5,11 @@ ResNet-18 slice and prints how stalls and row-buffer locality respond —
 the kind of exploration SCALE-Sim v2's fixed-latency memory could not
 support.
 
+Each sweep is a declarative :class:`~repro.run.sweep.SweepSpec` fanned
+out by a :class:`~repro.run.sweep.SweepRunner`.  The three sweeps share
+one :class:`~repro.run.sweep.ResultCache`, so their common grid point
+(DDR4, 1 channel, 128-entry queues) is simulated exactly once.
+
 Run with::
 
     python examples/dram_design_space.py
@@ -16,49 +21,70 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.config.system import ArchitectureConfig, DramConfig, SystemConfig
-from repro.core.simulator import Simulator
+from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
 from repro.topology.models import resnet18
 
 SCALE = 8
 TOPOLOGY = resnet18(scale=SCALE).first_layers(8)
-ARCH = ArchitectureConfig(array_rows=32, array_cols=32, dataflow="ws")
+BASE = SystemConfig(
+    arch=ArchitectureConfig(array_rows=32, array_cols=32, dataflow="ws"),
+    dram=DramConfig(enabled=True, technology="ddr4"),
+)
 
 
-def run(dram: DramConfig):
-    result = Simulator(SystemConfig(arch=ARCH, dram=dram)).run(TOPOLOGY)
-    stats = result.dram_stats
-    return result.total_cycles, result.total_stall_cycles, stats
+def run_sweep(runner: SweepRunner, axis: Axis):
+    """One-axis sweep of the base system over the ResNet-18 slice."""
+    spec = SweepSpec(base=BASE, axes=[axis], topologies=[TOPOLOGY], name=axis.name)
+    return runner.run(spec)
 
 
 def main() -> None:
     print(f"ResNet-18 first 8 layers ({SCALE}x scale) on a 32x32 WS array\n")
+    runner = SweepRunner(workers=2, cache=ResultCache())
 
     print("-- DRAM technology sweep (1 channel, 128-entry queues) --")
     print(f"{'tech':8s}{'total cycles':>14s}{'stalls':>12s}{'row hits':>10s}{'avg lat':>9s}")
-    for tech in ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm2"):
-        total, stalls, stats = run(DramConfig(enabled=True, technology=tech))
+    for result in run_sweep(
+        runner, Axis("dram.technology", ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm2"))
+    ):
+        stats = result.run_result.dram_stats
         print(
-            f"{tech:8s}{total:>14,}{stalls:>12,}{stats.row_hit_rate:>10.1%}"
-            f"{stats.average_read_latency:>9.1f}"
+            f"{result.assignment_dict['dram.technology']:8s}"
+            f"{result.total_cycles:>14,}{result.total_stall_cycles:>12,}"
+            f"{stats.row_hit_rate:>10.1%}{stats.average_read_latency:>9.1f}"
         )
 
     print("\n-- channel sweep (DDR4) --")
-    print(f"{'channels':>8s}{'total cycles':>14s}{'throughput GB/s':>17s}")
-    for channels in (1, 2, 4, 8):
-        total, _, stats = run(DramConfig(enabled=True, technology="ddr4", channels=channels))
-        print(f"{channels:>8d}{total:>14,}{stats.throughput_gbps(0.833):>17.2f}")
+    print(f"{'channels':>8s}{'total cycles':>14s}{'throughput GB/s':>17s}{'cache':>7s}")
+    for result in run_sweep(runner, Axis("dram.channels", (1, 2, 4, 8))):
+        stats = result.run_result.dram_stats
+        origin = "hit" if result.from_cache else "miss"
+        print(
+            f"{result.assignment_dict['dram.channels']:>8d}{result.total_cycles:>14,}"
+            f"{stats.throughput_gbps(0.833):>17.2f}{origin:>7s}"
+        )
 
     print("\n-- request-queue sweep (DDR4, 1 channel) --")
-    print(f"{'entries':>8s}{'total cycles':>14s}{'stall frac':>12s}")
-    for queue in (16, 32, 128, 512):
-        total, stalls, _ = run(
-            DramConfig(
-                enabled=True, technology="ddr4",
-                read_queue_entries=queue, write_queue_entries=queue,
-            )
+    print(f"{'entries':>8s}{'total cycles':>14s}{'stall frac':>12s}{'cache':>7s}")
+    for result in run_sweep(
+        runner,
+        Axis(
+            "queue",
+            (16, 32, 128, 512),
+            fields=("dram.read_queue_entries", "dram.write_queue_entries"),
+        ),
+    ):
+        total = result.total_cycles
+        origin = "hit" if result.from_cache else "miss"
+        print(
+            f"{result.assignment_dict['queue']:>8d}{total:>14,}"
+            f"{result.total_stall_cycles / total:>12.1%}{origin:>7s}"
         )
-        print(f"{queue:>8d}{total:>14,}{stalls / total:>12.1%}")
 
+    print(
+        f"\ncache: {runner.cache.hits} hits / {runner.cache.misses} misses "
+        "(the DDR4 / 1-channel / 128-entry point recurs in all three sweeps)"
+    )
     print("\nObservations (matching the paper's Figures 9 and 10):")
     print(" * channel count lifts throughput for the streaming conv layers,")
     print(" * queue depth 32 -> 128 removes most backpressure stalls,")

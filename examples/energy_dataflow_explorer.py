@@ -4,6 +4,10 @@ Reproduces the decision the paper's abstract leads with: judged by
 latency alone a 128x128 array dominates, but energy and EdP tell a
 different story — and the best dataflow depends on the metric too.
 
+Both explorations run as :mod:`repro.run.sweep` sweeps through a shared
+result cache, so the 32x32 weight-stationary point — which appears in
+the array sweep *and* the dataflow sweep — is simulated only once.
+
 Run with::
 
     python examples/energy_dataflow_explorer.py
@@ -15,35 +19,39 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.config.system import ArchitectureConfig, EnergyConfig, SystemConfig
-from repro.core.simulator import Simulator
-from repro.energy.accelergy import AccelergyLite
 from repro.energy.yaml_gen import write_architecture_yaml
+from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
 from repro.topology.models import vit_base
 
 TOPOLOGY = vit_base(scale=2, blocks=1)
-
-
-def evaluate(array: int, dataflow: str):
-    arch = ArchitectureConfig(
-        array_rows=array, array_cols=array, dataflow=dataflow, bandwidth_words=200
-    )
-    energy_cfg = EnergyConfig(enabled=True)
-    run = Simulator(SystemConfig(arch=arch, energy=energy_cfg)).run(TOPOLOGY)
-    report = AccelergyLite(arch, energy_cfg).estimate_run(run)
-    return run, report
+BASE = SystemConfig(
+    arch=ArchitectureConfig(dataflow="ws", bandwidth_words=200),
+    energy=EnergyConfig(enabled=True),
+)
 
 
 def main() -> None:
+    runner = SweepRunner(workers=2, cache=ResultCache())
+
     print("ViT-base block (2x scale), weight-stationary, array-size sweep\n")
     print(f"{'array':>6s}{'cycles':>12s}{'energy mJ':>11s}{'power W':>9s}{'EdP':>14s}")
+    array_results = runner.run(
+        SweepSpec(
+            base=BASE,
+            axes=[
+                Axis("array", (16, 32, 64, 128), fields=("arch.array_rows", "arch.array_cols"))
+            ],
+            topologies=[TOPOLOGY],
+            name="array_sweep",
+        )
+    )
     points = {}
-    for array in (16, 32, 64, 128):
-        run, report = evaluate(array, "ws")
-        edp = run.total_cycles * report.total_mj
-        points[array] = (run.total_cycles, report.total_mj, edp)
+    for result in array_results:
+        array = result.assignment_dict["array"]
+        points[array] = (result.total_cycles, result.energy_mj, result.edp)
         print(
-            f"{array:>6d}{run.total_cycles:>12,}{report.total_mj:>11.3f}"
-            f"{report.average_power_w:>9.3f}{edp:>14.1f}"
+            f"{array:>6d}{result.total_cycles:>12,}{result.energy_mj:>11.3f}"
+            f"{result.energy_report.average_power_w:>9.3f}{result.edp:>14.1f}"
         )
     fastest = min(points, key=lambda a: points[a][0])
     frugal = min(points, key=lambda a: points[a][1])
@@ -52,19 +60,35 @@ def main() -> None:
           f"best EdP: {best_edp}x{best_edp}")
 
     print("\ndataflow comparison on 32x32 (Figure 15 style):")
-    print(f"{'dataflow':>9s}{'cycles':>12s}{'energy mJ':>11s}{'dram mJ':>9s}")
-    for dataflow in ("os", "ws", "is"):
-        run, report = evaluate(32, dataflow)
-        print(
-            f"{dataflow:>9s}{run.total_cycles:>12,}{report.total_mj:>11.3f}"
-            f"{report.dram_pj * 1e-9:>9.3f}"
+    print(f"{'dataflow':>9s}{'cycles':>12s}{'energy mJ':>11s}{'dram mJ':>9s}{'cache':>7s}")
+    base_32 = BASE.replace(
+        arch=ArchitectureConfig(array_rows=32, array_cols=32, bandwidth_words=200)
+    )
+    dataflow_results = runner.run(
+        SweepSpec(
+            base=base_32,
+            axes=[Axis("arch.dataflow", ("os", "ws", "is"))],
+            topologies=[TOPOLOGY],
+            name="dataflow_sweep",
         )
+    )
+    for result in dataflow_results:
+        origin = "hit" if result.from_cache else "miss"
+        print(
+            f"{result.assignment_dict['arch.dataflow']:>9s}{result.total_cycles:>12,}"
+            f"{result.energy_mj:>11.3f}{result.energy_report.dram_pj * 1e-9:>9.3f}"
+            f"{origin:>7s}"
+        )
+    print(f"(cache: {runner.cache.hits} hits / {runner.cache.misses} misses — "
+          "the 32x32 WS point is shared with the array sweep)")
 
     print("\nper-component energy (32x32, OS):")
-    _, report = evaluate(32, "os")
-    for name, pj in sorted(report.per_instance_pj.items(), key=lambda kv: -kv[1]):
+    os_report = next(
+        r for r in dataflow_results if r.assignment_dict["arch.dataflow"] == "os"
+    ).energy_report
+    for name, pj in sorted(os_report.per_instance_pj.items(), key=lambda kv: -kv[1]):
         print(f"  {name:14s}{pj * 1e-9:>9.4f} mJ")
-    print(f"  {'leakage':14s}{report.leakage_pj * 1e-9:>9.4f} mJ")
+    print(f"  {'leakage':14s}{os_report.leakage_pj * 1e-9:>9.4f} mJ")
 
     path = write_architecture_yaml(
         ArchitectureConfig(array_rows=32, array_cols=32),

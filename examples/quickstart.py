@@ -6,6 +6,22 @@ Run with::
 
 Covers the three things every user does first: pick a preset, run a
 built-in topology, and read the headline numbers + CSV reports.
+
+The fourth thing is usually a design-space sweep; that is one
+:class:`~repro.run.sweep.SweepSpec` away::
+
+    from repro.run import Axis, SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        base=get_preset("google_tpu_v2"),  # DRAM-enabled, so channels matter
+        axes=[Axis("dram.channels", (1, 2, 4, 8))],
+        topologies=[get_model("resnet18", scale=8)],
+    )
+    for point in SweepRunner(workers=4).run(spec):
+        print(point.assignment_dict, point.total_cycles)
+
+(equivalently: ``scale-sim-repro sweep --preset google_tpu_v2
+--model resnet18 --scale 8 --set dram.channels=1,2,4,8 --workers 4``).
 """
 
 import sys

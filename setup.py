@@ -3,9 +3,36 @@
 Offline environments without the ``wheel`` package cannot build PEP 660
 editable wheels; with ``--no-use-pep517 --no-build-isolation`` (or the
 equivalent pip.conf) this shim lets ``pip install -e .`` take the
-classic ``setup.py develop`` path.  Metadata comes from pyproject.toml.
+classic ``setup.py develop`` path.
+
+Beyond metadata, this also ships the on-disk ``configs/`` and
+``topologies/`` artifacts (see MANIFEST.in for the sdist side) so an
+installed copy sees the same files ``tests/run/test_shipped_artifacts.py``
+exercises from a checkout.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).parent
+
+
+def _shipped(directory: str, pattern: str) -> list[str]:
+    return sorted(str(path.relative_to(ROOT)) for path in (ROOT / directory).glob(pattern))
+
+
+setup(
+    name="scale-sim-repro",
+    version="0.1.0",
+    description="SCALE-Sim v3 reproduction: cycle-accurate systolic-array simulation",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    data_files=[
+        ("share/scale-sim-repro/configs", _shipped("configs", "*.cfg")),
+        ("share/scale-sim-repro/topologies", _shipped("topologies", "*.csv")),
+    ],
+    entry_points={"console_scripts": ["scale-sim-repro=repro.run.cli:main"]},
+)

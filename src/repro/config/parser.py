@@ -241,3 +241,122 @@ def load_config(path: str | Path) -> SystemConfig:
     if not path.exists():
         raise ConfigError(f"config file not found: {path}")
     return parse_config_text(path.read_text())
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, tuple):
+        return ", ".join(str(item) for item in value)
+    return str(value)
+
+
+def serialize_config(config: SystemConfig) -> str:
+    """Render a :class:`SystemConfig` as ``.cfg`` text.
+
+    Every key is written explicitly (defaults included) using the same
+    key names :func:`parse_config_text` accepts, so
+    ``parse_config_text(serialize_config(cfg)) == cfg`` for any valid
+    config — the round-trip property the shipped ``configs/`` artifacts
+    are generated (and tested) under.
+    """
+    sections: list[tuple[str, list[tuple[str, object]]]] = [
+        (
+            "general",
+            [
+                ("run_name", config.run.run_name),
+                ("output_dir", config.run.output_dir),
+            ],
+        ),
+        (
+            "architecture_presets",
+            [
+                ("ArrayHeight", config.arch.array_rows),
+                ("ArrayWidth", config.arch.array_cols),
+                ("IfmapSramSzkB", config.arch.ifmap_sram_kb),
+                ("FilterSramSzkB", config.arch.filter_sram_kb),
+                ("OfmapSramSzkB", config.arch.ofmap_sram_kb),
+                ("Dataflow", config.arch.dataflow),
+                ("Bandwidth", config.arch.bandwidth_words),
+                ("WordBytes", config.arch.word_bytes),
+                ("SimdLanes", config.arch.simd_lanes),
+                ("SimdLatencyPerElement", config.arch.simd_latency_per_element),
+            ],
+        ),
+        (
+            "sparsity",
+            [
+                ("SparsitySupport", config.sparsity.sparsity_support),
+                ("OptimizedMapping", config.sparsity.optimized_mapping),
+                ("SparseRep", config.sparsity.sparse_representation),
+                ("BlockSize", config.sparsity.block_size),
+                ("RandomSeed", config.sparsity.random_seed),
+            ],
+        ),
+        (
+            "memory",
+            [
+                ("Enabled", config.dram.enabled),
+                ("Technology", config.dram.technology),
+                ("Channels", config.dram.channels),
+                ("RanksPerChannel", config.dram.ranks_per_channel),
+                ("BanksPerRank", config.dram.banks_per_rank),
+                ("CapacityGBPerChannel", config.dram.capacity_gb_per_channel),
+                ("SpeedMTs", config.dram.speed_mts),
+                ("ReadQueueEntries", config.dram.read_queue_entries),
+                ("WriteQueueEntries", config.dram.write_queue_entries),
+                ("AddressMapping", config.dram.address_mapping),
+                ("IssuePerCycle", config.dram.issue_per_cycle),
+            ],
+        ),
+        (
+            "layout",
+            [
+                ("Enabled", config.layout.enabled),
+                ("NumBanks", config.layout.num_banks),
+                ("PortsPerBank", config.layout.ports_per_bank),
+                ("BandwidthPerBank", config.layout.bandwidth_per_bank_words),
+                ("C1Step", config.layout.c1_step),
+                ("H1Step", config.layout.h1_step),
+                ("W1Step", config.layout.w1_step),
+            ],
+        ),
+        (
+            "energy",
+            [
+                ("Enabled", config.energy.enabled),
+                ("TechnologyNm", config.energy.technology_nm),
+                ("RowSize", config.energy.row_size_words),
+                ("BankSize", config.energy.bank_rows),
+                ("ClockGHz", config.energy.clock_ghz),
+                ("ClockGating", config.energy.clock_gating),
+            ],
+        ),
+        (
+            "multicore",
+            [
+                ("Enabled", config.multicore.enabled),
+                ("PartitionsRow", config.multicore.partitions_row),
+                ("PartitionsCol", config.multicore.partitions_col),
+                ("PartitionScheme", config.multicore.partition_scheme),
+                ("L2SramSzkB", config.multicore.l2_sram_kb),
+                ("NopHops", config.multicore.nop_hops),
+                ("NopLatencyPerHop", config.multicore.nop_latency_per_hop),
+            ],
+        ),
+    ]
+    lines: list[str] = []
+    for name, entries in sections:
+        lines.append(f"[{name}]")
+        for key, value in entries:
+            lines.append(f"{key} = {_format_value(value)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def save_config(config: SystemConfig, path: str | Path) -> Path:
+    """Write ``config`` to ``path`` in ``.cfg`` format; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(serialize_config(config))
+    return path

@@ -6,6 +6,7 @@ trio plus v3's additions (which live in their feature packages):
 * ``COMPUTE_REPORT.csv``   — cycles, stalls, utilisation per layer.
 * ``BANDWIDTH_REPORT.csv`` — average SRAM/DRAM bandwidth per layer.
 * ``DETAILED_ACCESS_REPORT.csv`` — per-operand SRAM/DRAM access counts.
+* :func:`write_sweep_report` — one row per :mod:`repro.run.sweep` point.
 """
 
 from __future__ import annotations
@@ -13,10 +14,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.errors import ReportError
 from repro.utils.csvio import write_csv
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.simulator import LayerResult
+    from repro.run.sweep import SweepResult
 
 
 def write_compute_report(results: list["LayerResult"], out_dir: str | Path) -> Path:
@@ -107,3 +110,49 @@ def write_detailed_report(results: list["LayerResult"], out_dir: str | Path) -> 
             ]
         )
     return write_csv(Path(out_dir) / "DETAILED_ACCESS_REPORT.csv", header, rows)
+
+
+def write_sweep_report(results: list["SweepResult"], path: str | Path) -> Path:
+    """Write one CSV row per sweep point, in grid order.
+
+    Columns are the point id, the workload, one column per sweep axis,
+    and the headline metrics.  Timing and cache provenance are left out
+    on purpose: the file's bytes depend only on the simulated inputs, so
+    serial and parallel sweeps of the same spec produce identical files.
+    """
+    if not results:
+        raise ReportError(f"refusing to write an empty sweep report to {path}")
+    axis_names = [name for name, _ in results[0].assignment]
+    header = [
+        "PointID",
+        "Topology",
+        *axis_names,
+        "TotalCycles",
+        "ComputeCycles",
+        "StallCycles",
+        "SparseComputeCycles",
+        "EnergyMJ",
+        "EdP",
+    ]
+    rows = []
+    for result in results:
+        assignment = result.assignment_dict
+        if list(assignment) != axis_names:
+            raise ReportError(
+                f"sweep point {result.index} has axes {list(assignment)}, "
+                f"expected {axis_names}"
+            )
+        rows.append(
+            [
+                result.index,
+                result.topology_name,
+                *[assignment[name] for name in axis_names],
+                result.total_cycles,
+                result.total_compute_cycles,
+                result.total_stall_cycles,
+                result.sparse_compute_cycles,
+                f"{result.energy_mj:.6f}",
+                f"{result.edp:.6f}",
+            ]
+        )
+    return write_csv(path, header, rows)

@@ -1,5 +1,22 @@
-"""High-level drivers: one-call simulation runs and the CLI."""
+"""High-level drivers: one-call simulation runs, sweeps, and the CLI."""
 
 from repro.run.runner import SimulationOutputs, run_simulation
+from repro.run.sweep import (
+    Axis,
+    ResultCache,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    single_point,
+)
 
-__all__ = ["SimulationOutputs", "run_simulation"]
+__all__ = [
+    "Axis",
+    "ResultCache",
+    "SimulationOutputs",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_simulation",
+    "single_point",
+]

@@ -4,19 +4,27 @@ Usage::
 
     scale-sim-repro -c configs/tpu.cfg -t topologies/resnet18.csv -p outputs
     scale-sim-repro --preset google_tpu_v2 --model resnet18 --scale 8
+    scale-sim-repro sweep --preset scale_sim_v2_default --model resnet18 \
+        --scale 8 --set dram.channels=1,2,4,8 --workers 4
 
 Either a ``.cfg`` file or a named preset selects the architecture, and
 either a topology CSV or a built-in model name selects the workload.
+The ``sweep`` subcommand crosses the selected config with one or more
+``--set section.field=v1,v2,...`` axes, fans the grid out over a worker
+pool (:mod:`repro.run.sweep`), and writes a sweep-report CSV.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
+from repro.core.report import write_sweep_report
 from repro.run.runner import run_simulation
+from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
 from repro.topology.models import available_models, get_model
 from repro.topology.topology import Topology
 
@@ -26,6 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="scale-sim-repro",
         description="SCALE-Sim v3 reproduction: cycle-accurate systolic simulation",
+        epilog=(
+            "design-space sweeps: 'scale-sim-repro sweep --help' "
+            "(grid over config fields, worker pool, result cache)"
+        ),
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("-c", "--config", help="path to a SCALE-Sim style .cfg file")
@@ -61,8 +73,130 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``sweep`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro sweep",
+        description="fan a config grid out over a worker pool and report CSV",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("-c", "--config", help="path to a SCALE-Sim style .cfg file")
+    source.add_argument(
+        "--preset", choices=available_presets(), help="named architecture preset"
+    )
+    workload = parser.add_mutually_exclusive_group(required=True)
+    workload.add_argument("-t", "--topology", help="path to a topology CSV")
+    workload.add_argument(
+        "--model", choices=available_models(), help="built-in workload model"
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="divisor shrinking built-in model dimensions (default 1)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="axes",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis over a dotted config field, e.g. dram.channels=1,2,4 "
+        "(repeatable; axes cross-multiply)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    parser.add_argument(
+        "-p",
+        "--output",
+        default="outputs",
+        help="output directory for the sweep report (default ./outputs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist simulated points here so repeated sweeps reuse them",
+    )
+    parser.add_argument(
+        "--name", default="sweep", help="sweep name used for run names and the CSV"
+    )
+    return parser
+
+
+def _parse_axis_value(raw: str) -> object:
+    text = raw.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_axis(option: str) -> Axis:
+    field_path, sep, values = option.partition("=")
+    if not sep or not values.strip():
+        raise SystemExit(
+            f"--set expects FIELD=V1,V2,... with at least one value, got {option!r}"
+        )
+    return Axis(
+        field_path.strip(),
+        tuple(_parse_axis_value(part) for part in values.split(",") if part.strip()),
+    )
+
+
+def sweep_main(argv: list[str]) -> int:
+    """Entry point of the ``sweep`` subcommand."""
+    args = build_sweep_parser().parse_args(argv)
+    config = load_config(args.config) if args.config else get_preset(args.preset)
+    if args.topology:
+        topology = Topology.from_csv(args.topology)
+    else:
+        topology = get_model(args.model, scale=args.scale)
+
+    spec = SweepSpec(
+        base=config,
+        axes=[_parse_axis(option) for option in args.axes],
+        topologies=[topology],
+        name=args.name,
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = SweepRunner(workers=args.workers, cache=cache)
+    results = runner.run(spec)
+
+    report = write_sweep_report(results, Path(args.output) / f"{args.name}_report.csv")
+    axis_names = [axis.name for axis in spec.axes]
+    print(f"sweep:    {args.name} ({len(results)} points, {args.workers} workers)")
+    for result in results:
+        knobs = "  ".join(
+            f"{name}={result.assignment_dict[name]}" for name in axis_names
+        )
+        origin = "cache" if result.from_cache else "run"
+        line = (
+            f"  [{result.index:03d}] {result.topology_name:16s} {knobs}  "
+            f"cycles={result.total_cycles:,}  stalls={result.total_stall_cycles:,}"
+        )
+        if result.energy_report is not None:
+            line += f"  energy={result.energy_mj:.3f}mJ"
+        print(f"{line}  ({origin})")
+    hit_line = f"cache:    {runner.cache.hits} hits / {runner.cache.misses} misses"
+    print(hit_line)
+    print(f"report:   {report}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
     if args.topology:

@@ -85,10 +85,22 @@ def run_simulation(
     topology: Topology,
     output_dir: str | Path | None = None,
     write_reports: bool = True,
+    dense: bool = True,
 ) -> SimulationOutputs:
-    """Run a full simulation; optionally write all reports to disk."""
-    simulator = Simulator(config)
-    run_result = simulator.run(topology)
+    """Run a full simulation; optionally write all reports to disk.
+
+    ``dense=False`` skips the cycle-accurate dense pass — and with it the
+    energy model, which consumes the dense per-layer results — leaving
+    only the feature simulations (sparsity).  Sparsity-only sweeps such
+    as the paper's Figure 8 use this to avoid paying for a dense
+    simulation whose results they never read.
+    """
+    if dense:
+        run_result = Simulator(config).run(topology)
+    else:
+        run_result = RunResult(
+            run_name=config.run.run_name, topology_name=topology.name
+        )
     outputs = SimulationOutputs(config=config, run_result=run_result)
 
     out_dir = Path(output_dir or config.run.output_dir) / config.run.run_name
@@ -114,7 +126,7 @@ def run_simulation(
         ]
 
     energy_engine: AccelergyLite | None = None
-    if config.energy.enabled:
+    if config.energy.enabled and dense:
         energy_engine = AccelergyLite(config.arch, config.energy)
         outputs.energy_report = energy_engine.estimate_run(run_result)
 

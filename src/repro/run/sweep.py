@@ -1,0 +1,502 @@
+"""Declarative design-space sweep execution.
+
+Every evaluation in the paper (Figs. 8-10/15, Tabs. 4-6) is a sweep: a
+base :class:`~repro.config.system.SystemConfig` plus a small grid of
+architecture / DRAM / sparsity knobs, crossed with a handful of
+workloads.  This module turns that pattern into a first-class subsystem:
+
+* :class:`Axis` — one swept dimension.  An axis names either a single
+  dotted config field (``"dram.channels"``) or a logical knob that fans
+  out to several fields at once (``Axis("array", (8, 16), fields=
+  ("arch.array_rows", "arch.array_cols"))`` keeps the array square).
+* :class:`SweepSpec` — base config + axes + workload topologies.
+  :meth:`SweepSpec.expand` materialises the full cross product into
+  concrete, validated configs with deterministic ordering and run names.
+* :class:`ResultCache` — a content-hash cache (config sans run metadata
+  + topology -> simulation payload).  Identical points are never
+  simulated twice, within a sweep or across sweeps; an optional
+  directory persists payloads on disk between processes.
+* :class:`SweepRunner` — fans cache misses out over a
+  ``multiprocessing`` pool.  Results always come back ordered by point
+  index, so a parallel sweep is bitwise-identical to a serial one.
+
+Example::
+
+    spec = SweepSpec(
+        base=get_preset("scale_sim_v2_default"),
+        axes=[Axis("dram.channels", (1, 2, 4, 8))],
+        topologies=[get_model("resnet18", scale=8)],
+    )
+    results = SweepRunner(workers=4).run(spec)
+    write_sweep_report(results, "outputs/channels_sweep.csv")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config.system import RunConfig, SystemConfig
+from repro.core.simulator import RunResult
+from repro.energy.accelergy import EnergyReport
+from repro.errors import ConfigError
+from repro.run.runner import run_simulation
+from repro.sparsity.sparse_compute import SparseLayerResult
+from repro.topology.topology import Topology
+
+#: Config sections an axis may touch (the run section is metadata, not a knob).
+_SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicore")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: a value list applied to one or more fields.
+
+    ``fields`` holds dotted ``section.field`` paths into
+    :class:`SystemConfig`; it defaults to ``(name,)`` so the common case
+    is simply ``Axis("dram.channels", (1, 2, 4, 8))``.
+    """
+
+    name: str
+    values: tuple[object, ...]
+    fields: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("axis name must be non-empty")
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ConfigError(f"axis {self.name!r} has no values")
+        fields = tuple(self.fields) or (self.name,)
+        object.__setattr__(self, "fields", fields)
+        for path in fields:
+            _split_field_path(path)
+
+
+def _split_field_path(path: str) -> tuple[str, str]:
+    """Validate and split a dotted ``section.field`` path."""
+    parts = path.split(".")
+    if len(parts) != 2:
+        raise ConfigError(
+            f"sweep field {path!r} must be a dotted 'section.field' path"
+        )
+    section, name = parts
+    if section not in _SWEEPABLE_SECTIONS:
+        raise ConfigError(
+            f"sweep field {path!r}: section must be one of {_SWEEPABLE_SECTIONS}"
+        )
+    return section, name
+
+
+def apply_override(config: SystemConfig, path: str, value: object) -> SystemConfig:
+    """Copy of ``config`` with one dotted field replaced."""
+    section, name = _split_field_path(path)
+    section_cfg = getattr(config, section)
+    if not hasattr(section_cfg, name):
+        raise ConfigError(f"unknown sweep field {path!r}")
+    return config.replace(**{section: dataclasses.replace(section_cfg, **{name: value})})
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-resolved grid point of a sweep."""
+
+    index: int
+    config: SystemConfig
+    topology: Topology
+    #: Ordered ``(axis_name, value)`` pairs identifying this point.
+    assignment: tuple[tuple[str, object], ...]
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: base config x axes x topologies.
+
+    Axes may be given as :class:`Axis` instances or as a plain mapping
+    ``{"dram.channels": (1, 2, 4)}``; topologies are the workloads every
+    grid combination runs against.  Expansion order is deterministic:
+    topologies outermost, then axes in declaration order (last axis
+    fastest), exactly like nested for-loops.
+    """
+
+    base: SystemConfig
+    axes: Sequence[Axis] = field(default_factory=list)
+    topologies: Sequence[Topology] = field(default_factory=list)
+    name: str = "sweep"
+    #: ``False`` skips the cycle-accurate dense pass per point (and the
+    #: energy model that consumes it) — for sparsity-only sweeps.
+    simulate_dense: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.axes, Mapping):
+            self.axes = [Axis(key, tuple(values)) for key, values in self.axes.items()]
+        self.axes = [
+            axis if isinstance(axis, Axis) else Axis(axis[0], tuple(axis[1]))
+            for axis in self.axes
+        ]
+        self.topologies = list(self.topologies)
+        if not self.topologies:
+            raise ConfigError(f"sweep {self.name!r} needs at least one topology")
+        seen = set()
+        for axis in self.axes:
+            if axis.name in seen:
+                raise ConfigError(f"duplicate sweep axis {axis.name!r}")
+            seen.add(axis.name)
+
+    @property
+    def num_points(self) -> int:
+        """Grid size: topologies x the product of axis lengths."""
+        total = len(self.topologies)
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def expand(self) -> list[SweepPoint]:
+        """Materialise every grid point as a concrete, validated config."""
+        points: list[SweepPoint] = []
+        value_lists = [axis.values for axis in self.axes]
+        for topology in self.topologies:
+            for combo in itertools.product(*value_lists):
+                config = self.base
+                for axis, value in zip(self.axes, combo):
+                    for path in axis.fields:
+                        config = apply_override(config, path, value)
+                index = len(points)
+                run_name = f"{self.name}_{index:04d}_{topology.name}"
+                config = config.replace(
+                    run=RunConfig(run_name=run_name, output_dir=self.base.run.output_dir)
+                )
+                points.append(
+                    SweepPoint(
+                        index=index,
+                        config=config,
+                        topology=topology,
+                        assignment=tuple(
+                            (axis.name, value) for axis, value in zip(self.axes, combo)
+                        ),
+                    )
+                )
+        return points
+
+
+# --------------------------------------------------------------- payloads
+
+
+@dataclass
+class _PointPayload:
+    """What one simulated point yields (the cacheable unit)."""
+
+    run_result: RunResult
+    energy_report: EnergyReport | None
+    sparse_results: list[SparseLayerResult]
+    wall_seconds: float
+
+
+def _slim_run_result(run_result: RunResult) -> RunResult:
+    """Drop per-fold schedules from a finished run.
+
+    Fold specs exist to drive the memory model *during* the run (and are
+    regenerated from the config on demand); retaining them would make
+    every cached sweep point carry thousands of dead objects, which both
+    bloats the cache and slows large sweeps down via GC pressure.
+    """
+    layers = [
+        dataclasses.replace(
+            layer, compute=dataclasses.replace(layer.compute, fold_specs=[])
+        )
+        for layer in run_result.layers
+    ]
+    return dataclasses.replace(run_result, layers=layers)
+
+
+def _simulate_point(args: tuple[SystemConfig, Topology, bool]) -> _PointPayload:
+    """Worker entry point: simulate one (config, topology) pair.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    config, topology, dense = args
+    start = time.perf_counter()
+    outputs = run_simulation(config, topology, write_reports=False, dense=dense)
+    return _PointPayload(
+        run_result=_slim_run_result(outputs.run_result),
+        energy_report=outputs.energy_report,
+        sparse_results=[
+            dataclasses.replace(result, fold_specs=[])
+            for result in outputs.sparse_results
+        ],
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+# ------------------------------------------------------------------ cache
+
+
+def _canonical_layer(layer: object) -> dict:
+    data = dataclasses.asdict(layer)  # type: ignore[call-overload]
+    data["__kind__"] = type(layer).__name__
+    return data
+
+
+def content_key(
+    config: SystemConfig, topology: Topology, simulate_dense: bool = True
+) -> str:
+    """Stable content hash of a simulation's inputs.
+
+    The ``run`` section (name / output dir) is metadata and deliberately
+    excluded, so renamed runs of the same point still hit the cache.
+    """
+    payload = {
+        "config": {
+            section: dataclasses.asdict(getattr(config, section))
+            for section in _SWEEPABLE_SECTIONS
+        },
+        "topology": [_canonical_layer(layer) for layer in topology],
+        "simulate_dense": simulate_dense,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of simulated sweep points.
+
+    Always caches in memory; pass ``directory`` to also persist payloads
+    as pickles so repeated sweeps across processes skip re-simulation.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, _PointPayload] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def key(
+        self, config: SystemConfig, topology: Topology, simulate_dense: bool = True
+    ) -> str:
+        """Content hash for a (config, topology) pair."""
+        return content_key(config, topology, simulate_dense)
+
+    def peek(self, key: str) -> _PointPayload | None:
+        """Look a payload up in memory without touching the counters."""
+        return self._memory.get(key)
+
+    def get(self, key: str) -> _PointPayload | None:
+        """Look a payload up, counting the hit or miss."""
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            path = self.directory / f"{key}.pkl"
+            if path.exists():
+                with path.open("rb") as handle:
+                    payload = pickle.load(handle)
+                self._memory[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: _PointPayload) -> None:
+        """Store a payload in memory (and on disk when configured)."""
+        self._memory[key] = payload
+        if self.directory is not None:
+            path = self.directory / f"{key}.pkl"
+            # Per-process temp name: concurrent sweeps sharing a cache
+            # directory must not interleave writes into one temp file.
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle)
+            tmp.replace(path)
+
+
+# ----------------------------------------------------------------- runner
+
+
+@dataclass
+class SweepResult:
+    """One sweep point's outcome, in grid order."""
+
+    index: int
+    topology_name: str
+    assignment: tuple[tuple[str, object], ...]
+    config: SystemConfig
+    run_result: RunResult
+    energy_report: EnergyReport | None = None
+    sparse_results: list[SparseLayerResult] = field(default_factory=list)
+    from_cache: bool = False
+    wall_seconds: float = 0.0
+
+    @property
+    def assignment_dict(self) -> dict[str, object]:
+        """The axis assignment as a plain dict."""
+        return dict(self.assignment)
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles of the dense run."""
+        return self.run_result.total_cycles
+
+    @property
+    def total_compute_cycles(self) -> int:
+        """Pure compute cycles of the dense run."""
+        return self.run_result.total_compute_cycles
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Stall + cold-start cycles of the dense run."""
+        return self.run_result.total_stall_cycles
+
+    @property
+    def energy_mj(self) -> float:
+        """Total energy in mJ (0 when the energy feature was off)."""
+        return self.energy_report.total_mj if self.energy_report else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (cycles x mJ)."""
+        return self.total_cycles * self.energy_mj
+
+    @property
+    def sparse_compute_cycles(self) -> int:
+        """Summed sparse compute cycles (0 when sparsity was off)."""
+        return sum(r.sparse_compute_cycles for r in self.sparse_results)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class SweepRunner:
+    """Execute a :class:`SweepSpec`, in parallel, through a result cache.
+
+    Args:
+        workers: process count.  ``1`` runs serially in-process; more
+            fan cache misses out over a pool.  Ordering and results are
+            identical either way.
+        cache: shared :class:`ResultCache`; a private in-memory cache is
+            created when omitted (still deduplicates within the sweep).
+    """
+
+    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache if cache is not None else ResultCache()
+
+    def run(self, spec: SweepSpec) -> list[SweepResult]:
+        """Run every grid point; results come back ordered by index."""
+        points = spec.expand()
+        keys = [
+            self.cache.key(point.config, point.topology, spec.simulate_dense)
+            for point in points
+        ]
+
+        # Each key is looked up (and counted) once: later duplicates of a
+        # key within the sweep are cache hits by construction — the first
+        # occurrence either hit or will be simulated — and get counted at
+        # serve time below, so hits + misses always equals the grid size.
+        cached: dict[int, _PointPayload] = {}
+        unique: dict[str, SweepPoint] = {}
+        seen: set[str] = set()
+        for point, key in zip(points, keys):
+            if key in seen:
+                continue
+            seen.add(key)
+            payload = self.cache.get(key)
+            if payload is not None:
+                cached[point.index] = payload
+            else:
+                unique[key] = point
+
+        computed = self._compute(list(unique.values()), spec.simulate_dense)
+        for key, payload in zip(unique, computed):
+            self.cache.put(key, payload)
+
+        computed_first = {key: point.index for key, point in unique.items()}
+        results: list[SweepResult] = []
+        for point, key in zip(points, keys):
+            if point.index in cached:
+                payload = cached[point.index]
+                from_cache = True
+            elif computed_first.get(key) == point.index:
+                payload = self._memory_payload(key)
+                from_cache = False
+            else:
+                # A duplicate of an earlier point: served (and counted)
+                # as a cache hit.
+                payload = self.cache.get(key)
+                if payload is None:  # pragma: no cover - internal invariant
+                    raise RuntimeError(f"sweep point {key} missing after compute phase")
+                from_cache = True
+            results.append(
+                SweepResult(
+                    index=point.index,
+                    topology_name=point.topology.name,
+                    assignment=point.assignment,
+                    config=point.config,
+                    run_result=dataclasses.replace(
+                        payload.run_result, run_name=point.config.run.run_name
+                    ),
+                    energy_report=payload.energy_report,
+                    sparse_results=payload.sparse_results,
+                    from_cache=from_cache,
+                    wall_seconds=0.0 if from_cache else payload.wall_seconds,
+                )
+            )
+        return results
+
+    def _memory_payload(self, key: str) -> _PointPayload:
+        payload = self.cache.peek(key)
+        if payload is None:  # pragma: no cover - internal invariant
+            raise RuntimeError(f"sweep point {key} missing after compute phase")
+        return payload
+
+    def _compute(
+        self, points: list[SweepPoint], simulate_dense: bool
+    ) -> list[_PointPayload]:
+        if not points:
+            return []
+        args = [(point.config, point.topology, simulate_dense) for point in points]
+        if self.workers == 1 or len(points) == 1:
+            return [_simulate_point(arg) for arg in args]
+        processes = min(self.workers, len(points))
+        with _pool_context().Pool(processes=processes) as pool:
+            return pool.map(_simulate_point, args, chunksize=1)
+
+
+def single_point(
+    config: SystemConfig,
+    topology: Topology,
+    cache: ResultCache | None = None,
+) -> SweepResult:
+    """Convenience wrapper: run one (config, topology) as a 1-point sweep."""
+    spec = SweepSpec(base=config, axes=[], topologies=[topology], name=config.run.run_name)
+    [result] = SweepRunner(workers=1, cache=cache).run(spec)
+    return result
+
+
+__all__ = [
+    "Axis",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "apply_override",
+    "content_key",
+    "single_point",
+]

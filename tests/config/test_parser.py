@@ -1,8 +1,14 @@
-"""Unit tests for the .cfg parser."""
+"""Unit tests for the .cfg parser and serializer."""
 
 import pytest
 
-from repro.config.parser import load_config, parse_config_text
+from repro.config.parser import (
+    load_config,
+    parse_config_text,
+    save_config,
+    serialize_config,
+)
+from repro.config.presets import available_presets, get_preset
 from repro.errors import ConfigError
 
 FULL_CFG = """
@@ -128,3 +134,24 @@ class TestDefaultsAndErrors:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(ConfigError):
             load_config(tmp_path / "nope.cfg")
+
+
+class TestSerializer:
+    def test_full_config_round_trips(self):
+        config = parse_config_text(FULL_CFG)
+        assert parse_config_text(serialize_config(config)) == config
+
+    @pytest.mark.parametrize("preset", available_presets())
+    def test_every_preset_round_trips(self, preset):
+        config = get_preset(preset)
+        assert parse_config_text(serialize_config(config)) == config
+
+    def test_save_and_load(self, tmp_path):
+        config = get_preset("simba_like")  # exercises the NopHops tuple
+        path = save_config(config, tmp_path / "simba.cfg")
+        assert load_config(path) == config
+
+    def test_empty_nop_hops_round_trips(self):
+        config = parse_config_text("")
+        assert config.multicore.nop_hops == ()
+        assert parse_config_text(serialize_config(config)).multicore.nop_hops == ()

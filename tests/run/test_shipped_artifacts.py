@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.config.parser import load_config
+from repro.config.parser import load_config, parse_config_text, serialize_config
 from repro.config.presets import get_preset
 from repro.run.cli import main
 from repro.topology.models import get_model
@@ -34,6 +34,11 @@ class TestShippedConfigs:
         assert config.sparsity.sparsity_support
         assert config.sparsity.optimized_mapping
         assert config.sparsity.block_size == 4
+
+    @pytest.mark.parametrize("path", CONFIGS, ids=lambda p: p.stem)
+    def test_round_trips_through_serializer(self, path):
+        config = load_config(path)
+        assert parse_config_text(serialize_config(config)) == config
 
 
 class TestShippedTopologies:

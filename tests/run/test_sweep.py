@@ -1,0 +1,324 @@
+"""Unit tests for the sweep-execution subsystem (repro.run.sweep)."""
+
+import pytest
+
+from repro.config.system import (
+    ArchitectureConfig,
+    EnergyConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.report import write_sweep_report
+from repro.errors import ConfigError, ReportError
+from repro.run.cli import main
+from repro.run.sweep import (
+    Axis,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+    apply_override,
+    content_key,
+    single_point,
+)
+from repro.topology.models import toy_conv, toy_gemm
+
+
+def _base() -> SystemConfig:
+    return SystemConfig(run=RunConfig(run_name="unit_sweep"))
+
+
+def _spec(**kwargs) -> SweepSpec:
+    defaults = dict(
+        base=_base(),
+        axes=[Axis("arch.dataflow", ("os", "ws"))],
+        topologies=[toy_gemm()],
+        name="unit",
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestAxis:
+    def test_fields_default_to_name(self):
+        axis = Axis("dram.channels", (1, 2))
+        assert axis.fields == ("dram.channels",)
+
+    def test_multi_field_axis(self):
+        axis = Axis("array", (8, 16), fields=("arch.array_rows", "arch.array_cols"))
+        assert axis.fields == ("arch.array_rows", "arch.array_cols")
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            Axis("dram.channels", ())
+
+    def test_undotted_field_rejected(self):
+        with pytest.raises(ConfigError):
+            Axis("channels", (1, 2))
+
+    def test_run_section_not_sweepable(self):
+        with pytest.raises(ConfigError):
+            Axis("run.run_name", ("a", "b"))
+
+
+class TestApplyOverride:
+    def test_sets_nested_field(self):
+        config = apply_override(_base(), "dram.channels", 4)
+        assert config.dram.channels == 4
+        assert config.arch == _base().arch
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            apply_override(_base(), "dram.bogus", 1)
+
+    def test_invalid_value_fails_at_construction(self):
+        with pytest.raises(ConfigError):
+            apply_override(_base(), "dram.channels", 0)
+
+
+class TestSweepSpecExpand:
+    def test_point_count_is_cross_product(self):
+        spec = _spec(
+            axes=[Axis("arch.dataflow", ("os", "ws", "is")), Axis("dram.channels", (1, 2))],
+            topologies=[toy_gemm(), toy_conv()],
+        )
+        assert spec.num_points == 12
+        assert len(spec.expand()) == 12
+
+    def test_ordering_topology_outer_last_axis_fastest(self):
+        spec = _spec(
+            axes=[Axis("arch.dataflow", ("os", "ws")), Axis("dram.channels", (1, 2))],
+            topologies=[toy_gemm(), toy_conv()],
+        )
+        points = spec.expand()
+        assert [p.topology.name for p in points[:4]] == ["toy_gemm"] * 4
+        assert [p.assignment for p in points[:4]] == [
+            (("arch.dataflow", "os"), ("dram.channels", 1)),
+            (("arch.dataflow", "os"), ("dram.channels", 2)),
+            (("arch.dataflow", "ws"), ("dram.channels", 1)),
+            (("arch.dataflow", "ws"), ("dram.channels", 2)),
+        ]
+        assert points[4].topology.name == "toy_conv"
+
+    def test_multi_field_axis_applies_to_all_fields(self):
+        spec = _spec(axes=[Axis("array", (8, 16), fields=("arch.array_rows", "arch.array_cols"))])
+        points = spec.expand()
+        assert [(p.config.arch.array_rows, p.config.arch.array_cols) for p in points] == [
+            (8, 8),
+            (16, 16),
+        ]
+
+    def test_mapping_axes_accepted(self):
+        spec = _spec(axes={"dram.channels": (1, 2, 4)})
+        assert [p.config.dram.channels for p in spec.expand()] == [1, 2, 4]
+
+    def test_run_names_unique_and_prefixed(self):
+        points = _spec().expand()
+        names = [p.config.run.run_name for p in points]
+        assert len(set(names)) == len(names)
+        assert all(name.startswith("unit_") for name in names)
+
+    def test_empty_axes_is_one_point_per_topology(self):
+        spec = _spec(axes=[], topologies=[toy_gemm(), toy_conv()])
+        assert [p.assignment for p in spec.expand()] == [(), ()]
+
+    def test_no_topologies_rejected(self):
+        with pytest.raises(ConfigError):
+            _spec(topologies=[])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            _spec(axes=[Axis("dram.channels", (1,)), Axis("dram.channels", (2,))])
+
+
+class TestContentKey:
+    def test_stable_for_equal_inputs(self):
+        assert content_key(_base(), toy_gemm()) == content_key(_base(), toy_gemm())
+
+    def test_differs_across_configs_and_topologies(self):
+        base = _base()
+        assert content_key(base, toy_gemm()) != content_key(
+            apply_override(base, "dram.channels", 2), toy_gemm()
+        )
+        assert content_key(base, toy_gemm()) != content_key(base, toy_conv())
+
+    def test_ignores_run_metadata(self):
+        renamed = _base().replace(run=RunConfig(run_name="other", output_dir="elsewhere"))
+        assert content_key(_base(), toy_gemm()) == content_key(renamed, toy_gemm())
+
+
+class TestSweepRunner:
+    def test_results_in_grid_order_with_run_names(self):
+        results = SweepRunner().run(_spec())
+        assert [r.index for r in results] == [0, 1]
+        assert [r.assignment_dict["arch.dataflow"] for r in results] == ["os", "ws"]
+        assert all(r.run_result.run_name == r.config.run.run_name for r in results)
+        assert all(r.total_cycles > 0 for r in results)
+
+    def test_worker_count_edge_cases_agree_with_serial(self):
+        spec = _spec(
+            axes=[Axis("arch.dataflow", ("os", "ws", "is")), Axis("dram.channels", (1, 2))],
+            topologies=[toy_gemm(), toy_conv()],
+        )
+        serial = SweepRunner(workers=1).run(spec)
+        for workers in (2, 16):
+            parallel = SweepRunner(workers=workers).run(spec)
+            assert [r.total_cycles for r in parallel] == [r.total_cycles for r in serial]
+            assert [r.total_stall_cycles for r in parallel] == [
+                r.total_stall_cycles for r in serial
+            ]
+            assert [r.assignment for r in parallel] == [r.assignment for r in serial]
+
+    def test_parallel_csv_bitwise_identical_to_serial(self, tmp_path):
+        spec = _spec(
+            base=_base().replace(energy=EnergyConfig(enabled=True)),
+            axes=[Axis("array", (8, 16), fields=("arch.array_rows", "arch.array_cols"))],
+            topologies=[toy_gemm(), toy_conv()],
+        )
+        serial_csv = write_sweep_report(
+            SweepRunner(workers=1).run(spec), tmp_path / "serial.csv"
+        )
+        parallel_csv = write_sweep_report(
+            SweepRunner(workers=4).run(spec), tmp_path / "parallel.csv"
+        )
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_repeated_sweep_hits_cache(self):
+        cache = ResultCache()
+        spec = _spec()
+        first = SweepRunner(cache=cache).run(spec)
+        assert all(not r.from_cache for r in first)
+        assert (cache.hits, cache.misses) == (0, 2)
+        second = SweepRunner(cache=cache).run(spec)
+        assert all(r.from_cache for r in second)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert [r.total_cycles for r in second] == [r.total_cycles for r in first]
+
+    def test_changed_config_misses_cache(self):
+        cache = ResultCache()
+        SweepRunner(cache=cache).run(_spec())
+        SweepRunner(cache=cache).run(
+            _spec(base=apply_override(_base(), "arch.bandwidth_words", 99))
+        )
+        assert cache.hits == 0
+        assert cache.misses == 4
+
+    def test_duplicate_points_simulated_once(self):
+        # A genuinely duplicated axis value: both points have identical
+        # content, so only the first is simulated.
+        spec = _spec(axes=[Axis("arch.dataflow", ("os", "os"))])
+        cache = ResultCache()
+        results = SweepRunner(cache=cache).run(spec)
+        assert len(cache) == 1
+        assert [r.from_cache for r in results] == [False, True]
+        assert results[0].total_cycles == results[1].total_cycles
+        # Counters agree with the per-point labels: one simulated miss,
+        # one duplicate served as a hit.
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_disk_cache_persists_across_instances(self, tmp_path):
+        spec = _spec()
+        SweepRunner(cache=ResultCache(tmp_path / "cache")).run(spec)
+        cache = ResultCache(tmp_path / "cache")
+        results = SweepRunner(cache=cache).run(spec)
+        assert all(r.from_cache for r in results)
+        assert cache.misses == 0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(workers=0)
+
+    def test_single_point_helper(self):
+        result = single_point(_base(), toy_gemm())
+        assert result.index == 0
+        assert result.topology_name == "toy_gemm"
+        assert result.total_cycles > 0
+
+    def test_sparse_only_sweep_skips_dense(self):
+        base = apply_override(_base(), "sparsity.sparsity_support", True)
+        [result] = SweepRunner().run(_spec(base=base, axes=[], simulate_dense=False))
+        assert result.total_cycles == 0  # dense pass skipped
+        assert result.sparse_compute_cycles > 0
+        # The dense flag is part of the content hash: the two variants
+        # of the same point must not share cache entries.
+        assert content_key(base, toy_gemm(), True) != content_key(base, toy_gemm(), False)
+
+    def test_energy_and_sparsity_payloads(self):
+        base = _base().replace(energy=EnergyConfig(enabled=True))
+        base = apply_override(base, "sparsity.sparsity_support", True)
+        [result] = SweepRunner().run(_spec(base=base, axes=[]))
+        assert result.energy_report is not None
+        assert result.energy_mj > 0
+        assert result.edp == result.total_cycles * result.energy_mj
+        assert result.sparse_compute_cycles > 0
+
+
+class TestSweepReport:
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(ReportError):
+            write_sweep_report([], tmp_path / "empty.csv")
+
+    def test_header_includes_axis_columns(self, tmp_path):
+        results = SweepRunner().run(_spec())
+        path = write_sweep_report(results, tmp_path / "report.csv")
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("PointID,Topology,arch.dataflow,TotalCycles")
+
+
+class TestSweepCli:
+    def test_sweep_subcommand(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--preset",
+                "scale_sim_v2_default",
+                "--model",
+                "toy_gemm",
+                "--set",
+                "arch.dataflow=os,ws",
+                "--workers",
+                "2",
+                "-p",
+                str(tmp_path),
+                "--name",
+                "cli_unit",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli_unit (2 points, 2 workers)" in out
+        assert (tmp_path / "cli_unit_report.csv").exists()
+
+    def test_sweep_cache_dir_reuse(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--preset",
+            "scale_sim_v2_default",
+            "--model",
+            "toy_gemm",
+            "--set",
+            "dram.channels=1,2",
+            "-p",
+            str(tmp_path),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache:    2 hits / 0 misses" in capsys.readouterr().out
+
+    def test_bad_axis_option_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep",
+                    "--preset",
+                    "scale_sim_v2_default",
+                    "--model",
+                    "toy_gemm",
+                    "--set",
+                    "dram.channels",
+                    "-p",
+                    str(tmp_path),
+                ]
+            )
