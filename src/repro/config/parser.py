@@ -186,6 +186,7 @@ def parse_config_text(text: str) -> SystemConfig:
         write_queue_entries=mem_sec.get_int("WriteQueueEntries", 128),
         address_mapping=mem_sec.get_str("AddressMapping", "ro_ba_ra_co_ch").lower(),
         issue_per_cycle=mem_sec.get_int("IssuePerCycle", 4),
+        engine=mem_sec.get_str("Engine", "batched").lower(),
     )
     mem_sec.reject_unknown_keys()
 
@@ -307,6 +308,7 @@ def serialize_config(config: SystemConfig) -> str:
                 ("WriteQueueEntries", config.dram.write_queue_entries),
                 ("AddressMapping", config.dram.address_mapping),
                 ("IssuePerCycle", config.dram.issue_per_cycle),
+                ("Engine", config.dram.engine),
             ],
         ),
         (

@@ -23,6 +23,9 @@ VALID_DRAM_TECHNOLOGIES = ("ddr3", "ddr4", "lpddr4", "gddr5", "hbm", "hbm2", "wi
 
 VALID_SPARSE_REPRESENTATIONS = ("csr", "csc", "ellpack_block")
 
+#: Memory-datapath engines (see :mod:`repro.dram.engine`).
+VALID_DRAM_ENGINES = ("reference", "batched")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -148,6 +151,11 @@ class DramConfig:
     # AXI outstanding-transaction rate the paper mimics from the Micron
     # DDR4 Verilog model).
     issue_per_cycle: int = 4
+    # Memory-datapath engine: "batched" (vectorized, default) or
+    # "reference" (the scalar executable specification).  Both produce
+    # bit-identical results; the knob exists for cross-validation and
+    # as the plug-in point for future engines.
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         _require(
@@ -162,6 +170,10 @@ class DramConfig:
         _require(self.read_queue_entries >= 1, "read_queue_entries must be >= 1")
         _require(self.write_queue_entries >= 1, "write_queue_entries must be >= 1")
         _require(self.issue_per_cycle >= 1, "issue_per_cycle must be >= 1")
+        _require(
+            self.engine in VALID_DRAM_ENGINES,
+            f"engine must be one of {VALID_DRAM_ENGINES}, got {self.engine!r}",
+        )
 
 
 @dataclass(frozen=True)

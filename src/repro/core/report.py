@@ -62,11 +62,14 @@ def write_bandwidth_report(results: list["LayerResult"], out_dir: str | Path) ->
         "AvgFilterSramBw(words/cycle)",
         "AvgOfmapSramBw(words/cycle)",
         "AvgDramBw(words/cycle)",
+        "DramBackpressureStall%",
+        "AvgDramBwInclDrain(words/cycle)",
     ]
     rows = []
     for index, result in enumerate(results):
         cycles = max(1, result.total_cycles)
         compute = result.compute
+        drained_cycles = max(1, result.total_cycles + result.drain_cycles)
         rows.append(
             [
                 index,
@@ -75,6 +78,8 @@ def write_bandwidth_report(results: list["LayerResult"], out_dir: str | Path) ->
                 f"{compute.filter_sram_reads / cycles:.4f}",
                 f"{compute.ofmap_sram_writes / cycles:.4f}",
                 f"{compute.total_dram_words / cycles:.4f}",
+                f"{result.backpressure_stall_cycles / cycles * 100:.2f}",
+                f"{compute.total_dram_words / drained_cycles:.4f}",
             ]
         )
     return write_csv(Path(out_dir) / "BANDWIDTH_REPORT.csv", header, rows)
@@ -92,6 +97,8 @@ def write_detailed_report(results: list["LayerResult"], out_dir: str | Path) -> 
         "DramFilterWords",
         "DramOfmapWriteWords",
         "DramOfmapReadbackWords",
+        "DramBackpressureStallCycles",
+        "DramDrainCycles",
     ]
     rows = []
     for index, result in enumerate(results):
@@ -107,6 +114,8 @@ def write_detailed_report(results: list["LayerResult"], out_dir: str | Path) -> 
                 compute.dram_filter_words,
                 compute.dram_ofmap_write_words,
                 compute.dram_ofmap_readback_words,
+                result.backpressure_stall_cycles,
+                result.drain_cycles,
             ]
         )
     return write_csv(Path(out_dir) / "DETAILED_ACCESS_REPORT.csv", header, rows)

@@ -38,11 +38,19 @@ from repro.topology.topology import Topology
 
 @dataclass
 class LayerResult:
-    """One layer's resolved compute + memory outcome."""
+    """One layer's resolved compute + memory outcome.
+
+    ``backpressure_stall_cycles`` counts front-end issue cycles lost to
+    full request queues while this layer's traffic was in flight;
+    ``drain_cycles`` is how far the layer's last in-flight transaction
+    (typically writebacks) completed past the layer's compute end.
+    """
 
     layer_name: str
     compute: LayerComputeResult
     timeline: MemoryTimeline
+    backpressure_stall_cycles: int = 0
+    drain_cycles: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -127,14 +135,20 @@ class Simulator:
             filter_sram_words=arch.filter_sram_words(),
             ofmap_sram_words=arch.ofmap_sram_words(),
         )
-        self._dram: RamulatorLite | None = None
-        self._backend: MemoryBackend | None = None
-
     def _make_backend(self) -> MemoryBackend:
-        """Fresh backend per run (bank/queue state must not leak)."""
+        """Fresh backend per run (bank/queue state must not leak).
+
+        The DRAM path routes line batches through the engine the config
+        selects (``dram.engine``): the vectorized batched engine by
+        default, or the scalar reference engine for cross-validation.
+        DRAM statistics are read back through the backend's seam
+        (:meth:`DramBackend.dram_stats`), never from the
+        :class:`RamulatorLite` instance directly — the batched engine
+        keeps its own state.
+        """
         if self.config.dram.enabled:
             dram_cfg = self.config.dram
-            self._dram = RamulatorLite(
+            dram = RamulatorLite(
                 technology=dram_cfg.technology,
                 channels=dram_cfg.channels,
                 ranks_per_channel=dram_cfg.ranks_per_channel,
@@ -143,11 +157,12 @@ class Simulator:
                 address_mapping=dram_cfg.address_mapping,
             )
             return DramBackend(
-                self._dram,
+                dram,
                 read_queue_entries=dram_cfg.read_queue_entries,
                 write_queue_entries=dram_cfg.write_queue_entries,
                 word_bytes=self.config.arch.word_bytes,
                 max_issue_per_cycle=dram_cfg.issue_per_cycle,
+                engine=dram_cfg.engine,
             )
         return IdealBandwidthBackend(self.config.arch.bandwidth_words)
 
@@ -159,15 +174,23 @@ class Simulator:
         clock = 0
         for layer in topology:
             compute = self.compute_sim.simulate_layer(layer)
+            stalls_before = backend.stall_cycles_from_backpressure
             timeline = memory.run(
                 compute.fold_specs, keep_timings=keep_timings, start_cycle=clock
             )
             clock += timeline.total_cycles
             result.layers.append(
-                LayerResult(layer_name=layer.name, compute=compute, timeline=timeline)
+                LayerResult(
+                    layer_name=layer.name,
+                    compute=compute,
+                    timeline=timeline,
+                    backpressure_stall_cycles=backend.stall_cycles_from_backpressure
+                    - stalls_before,
+                    drain_cycles=max(0, backend.drain() - clock),
+                )
             )
-        if self._dram is not None:
-            result.dram_stats = self._dram.aggregate_stats()
+        if isinstance(backend, DramBackend):
+            result.dram_stats = backend.dram_stats()
         return result
 
     def run_layer(self, layer: object, keep_timings: bool = False) -> LayerResult:
@@ -176,4 +199,10 @@ class Simulator:
         memory = DoubleBufferMemory(backend)
         compute = self.compute_sim.simulate_layer(layer)  # type: ignore[arg-type]
         timeline = memory.run(compute.fold_specs, keep_timings=keep_timings)
-        return LayerResult(layer_name=compute.layer_name, compute=compute, timeline=timeline)
+        return LayerResult(
+            layer_name=compute.layer_name,
+            compute=compute,
+            timeline=timeline,
+            backpressure_stall_cycles=backend.stall_cycles_from_backpressure,
+            drain_cycles=max(0, backend.drain() - timeline.total_cycles),
+        )

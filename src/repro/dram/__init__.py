@@ -1,16 +1,39 @@
-"""RamulatorLite: a cycle-accurate banked DRAM model (paper Section V)."""
+"""RamulatorLite: a cycle-accurate banked DRAM model (paper Section V).
+
+The line pipeline (front-end pacing + request queues + banks/buses)
+lives behind the pluggable engine seam in :mod:`repro.dram.engine`.
+"""
 
 from repro.dram.timing import DramTiming, get_timing_preset
-from repro.dram.address import AddressMapper, DecodedAddress
+from repro.dram.address import LINE_BYTES, AddressMapper, DecodedAddress
 from repro.dram.dram_sim import DramStats, RamulatorLite
 from repro.dram.backend import DramBackend
+from repro.dram.engine import (
+    AVAILABLE_ENGINES,
+    BatchResult,
+    LineRequestBatch,
+    LineStream,
+    MemoryEngine,
+    ReferenceEngine,
+    make_engine,
+)
+from repro.dram.engine_batched import BatchedEngine
 
 __all__ = [
     "DramTiming",
     "get_timing_preset",
+    "LINE_BYTES",
     "AddressMapper",
     "DecodedAddress",
     "DramStats",
     "RamulatorLite",
     "DramBackend",
+    "AVAILABLE_ENGINES",
+    "BatchResult",
+    "LineRequestBatch",
+    "LineStream",
+    "MemoryEngine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "make_engine",
 ]

@@ -1,26 +1,24 @@
-"""Adapter: tile fetches -> line requests -> RamulatorLite.
+"""Adapter: tile fetches -> line batches -> a pluggable memory engine.
 
 This is v3's "memory datapath" (paper Section V-B step 3): demand spans
-are chopped into 64B lines, issued at most one per cycle into finite
-read/write request queues, and each line's round-trip latency comes from
-the DRAM model.  A full queue blocks issue — that backpressure is what
-makes small queues slow (Figure 10).
+are chopped into 64B lines, issued at most ``issue_per_cycle`` per cycle
+into finite read/write request queues, and each line's round-trip
+latency comes from the DRAM model.  A full queue blocks issue — that
+backpressure is what makes small queues slow (Figure 10).
+
+The line pipeline itself lives behind the engine seam
+(:mod:`repro.dram.engine`): this backend only translates
+:class:`TileFetch` spans into a :class:`LineRequestBatch` and routes it
+through the configured :class:`MemoryEngine` (scalar reference or the
+vectorized batched engine).
 """
 
 from __future__ import annotations
 
 from repro.core.compute_sim import TileFetch
-from repro.core.operand_matrix import FILTER_BASE, IFMAP_BASE, OFMAP_BASE
-from repro.dram.address import LINE_BYTES
-from repro.dram.dram_sim import RamulatorLite
+from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.dram.engine import LineRequestBatch, MemoryEngine, make_engine
 from repro.errors import DramError
-from repro.memory.request_queue import RequestQueue
-
-_OPERAND_BASE_WORDS = {
-    "ifmap": IFMAP_BASE,
-    "filter": FILTER_BASE,
-    "ofmap": OFMAP_BASE,
-}
 
 
 class DramBackend:
@@ -33,7 +31,16 @@ class DramBackend:
         write_queue_entries: int = 128,
         word_bytes: int = 2,
         max_issue_per_cycle: int = 1,
+        engine: str | MemoryEngine = "batched",
     ) -> None:
+        """Build the adapter.
+
+        ``engine`` is either a name resolved through
+        :func:`repro.dram.engine.make_engine` (using ``dram``, the queue
+        sizes and ``max_issue_per_cycle``), or an already-constructed
+        :class:`MemoryEngine` — in which case the engine's own DRAM,
+        queues and issue rate are what the simulation uses.
+        """
         if word_bytes < 1:
             raise DramError(f"word_bytes must be >= 1, got {word_bytes}")
         if max_issue_per_cycle < 1:
@@ -41,9 +48,17 @@ class DramBackend:
         self.dram = dram
         self.word_bytes = word_bytes
         self.max_issue_per_cycle = max_issue_per_cycle
-        self.read_queue = RequestQueue(read_queue_entries, "read_queue")
-        self.write_queue = RequestQueue(write_queue_entries, "write_queue")
-        self._issue_clock = 0
+        self.engine: MemoryEngine = (
+            make_engine(
+                engine,
+                dram,
+                read_queue_entries=read_queue_entries,
+                write_queue_entries=write_queue_entries,
+                max_issue_per_cycle=max_issue_per_cycle,
+            )
+            if isinstance(engine, str)
+            else engine
+        )
         self.total_lines_read = 0
         self.total_lines_written = 0
 
@@ -57,60 +72,36 @@ class DramBackend:
         the interleaving that makes DRAM bank behaviour (and request
         queues) matter for mixed traffic.
         """
-        clock = max(issue_cycle, self._issue_clock)
-        last_read_done = clock
-        issued_this_cycle = 0
-
-        streams: list[tuple[range, bool]] = []
-        for fetch in fetches:
-            if fetch.num_words == 0:
-                continue
-            base_byte = _OPERAND_BASE_WORDS[fetch.operand] * self.word_bytes
-            start_byte = base_byte + fetch.start_word * self.word_bytes
-            num_bytes = fetch.num_words * self.word_bytes
-            first_line = start_byte // LINE_BYTES
-            last_line = (start_byte + num_bytes - 1) // LINE_BYTES
-            streams.append((range(first_line, last_line + 1), fetch.is_write))
-
-        iterators = [(iter(lines), is_write) for lines, is_write in streams]
-        while iterators:
-            exhausted = []
-            for index, (lines, is_write) in enumerate(iterators):
-                line = next(lines, None)
-                if line is None:
-                    exhausted.append(index)
-                    continue
-                # Front-end issue bandwidth: max_issue_per_cycle lines/cycle.
-                if issued_this_cycle >= self.max_issue_per_cycle:
-                    clock += 1
-                    issued_this_cycle = 0
-                queue = self.write_queue if is_write else self.read_queue
-                issue_at = queue.earliest_issue(clock)
-                if issue_at > clock:
-                    queue.record_stall(issue_at - clock)
-                    clock = issue_at
-                    issued_this_cycle = 0
-                completion = self.dram.submit(line * LINE_BYTES, clock, is_write=is_write)
-                queue.push(clock, completion)
-                issued_this_cycle += 1
-                if is_write:
-                    self.total_lines_written += 1
-                else:
-                    self.total_lines_read += 1
-                    last_read_done = max(last_read_done, completion)
-            for index in reversed(exhausted):
-                iterators.pop(index)
-
-        self._issue_clock = clock
-        return last_read_done
+        batch = LineRequestBatch.from_fetches(fetches, self.word_bytes)
+        result = self.engine.process_batch(batch, issue_cycle)
+        self.total_lines_read += result.lines_read
+        self.total_lines_written += result.lines_written
+        return result.ready_cycle
 
     def drain(self) -> int:
         """Cycle when every in-flight read and write has completed."""
-        return max(self.read_queue.drain_time(), self.write_queue.drain_time())
+        return self.engine.drain()
 
     # ------------------------------------------------------------- reporting
 
     @property
+    def read_queue(self):
+        """The engine's read-queue state/statistics."""
+        return self.engine.read_queue
+
+    @property
+    def write_queue(self):
+        """The engine's write-queue state/statistics."""
+        return self.engine.write_queue
+
+    @property
     def stall_cycles_from_backpressure(self) -> int:
         """Issue cycles lost to full request queues."""
-        return self.read_queue.total_stall_cycles + self.write_queue.total_stall_cycles
+        return (
+            self.engine.read_queue.total_stall_cycles
+            + self.engine.write_queue.total_stall_cycles
+        )
+
+    def dram_stats(self) -> DramStats:
+        """Aggregate DRAM statistics across all channels."""
+        return self.engine.aggregate_stats()

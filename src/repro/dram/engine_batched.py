@@ -1,0 +1,823 @@
+"""BatchedEngine: the vectorized memory-datapath engine.
+
+Bit-exact to :class:`repro.dram.engine.ReferenceEngine`, but the
+per-64B-line Python loop is replaced by array passes over whole line
+batches:
+
+* **address decode** is stride arithmetic over the full batch
+  (:meth:`repro.dram.address.AddressMapper.decode_batch`);
+* **front-end pacing + queue backpressure** become one running-max
+  scan.  With ``c = max_issue_per_cycle``, the scalar recurrence
+  "bump the clock every c issues, jump to the oldest in-flight
+  completion when a queue is full" has the closed form
+  ``issue[i] = (i + max_{j<=i}(c*g[j] - j)) // c`` where ``g[j]`` is
+  the queue constraint of request ``j`` — an order statistic of the
+  queue's past completions (see below);
+* **bank timing** is resolved per row-hit streak: within a streak the
+  recurrence ``issue[k] = max(cycle[k], issue[k-1] + delta[k-1])``
+  telescopes to a prefix sum plus a segmented running max, so whole
+  streaks (the overwhelmingly common case for streaming tile fetches)
+  resolve in one vector op.  Row misses/conflicts — the rare streak
+  boundaries — are walked scalar;
+* **bus arbitration** per channel is the same max-plus telescoping:
+  ``ready[k] = max(data[k], ready[k-1]) + t_burst`` becomes
+  ``(k+1)*t_burst + runmax(data[k] - k*t_burst)``;
+* **statistics** are array reductions accumulated once per batch.
+
+The queue constraint ``g`` is exact, not heuristic.  For a queue of
+capacity ``Q``, the j-th push can issue no earlier than the
+``(j-Q)``-th smallest of all completions pushed before it (when the
+queue is full, the front-end jumps to the oldest in-flight completion;
+retired entries only make the constraint vacuous).  Those order
+statistics are consumed in strictly increasing rank order, so the
+engine keeps a sorted ``pending`` pool per queue and processes lines in
+sub-blocks of at most ``Q`` pushes per queue — every constraint a block
+needs is then a completion from *before* the block.  A cheap vectorized
+check (no in-block completion may undercut a later consumed constraint)
+guards the one case where an in-block completion could reorder the
+statistics; on the rare violation the block is truncated and re-run.
+
+Small batches skip the array machinery entirely and run through an
+inlined scalar loop over the same state — identical semantics, no
+numpy dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import chain
+
+import numpy as np
+
+from repro.dram.address import LINE_BYTES
+from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.dram.engine import BatchResult, LineRequestBatch
+from repro.errors import DramError, MemoryModelError
+
+_LOW = -(1 << 42)  # "no constraint" sentinel (far below any real cycle)
+_BIG = 1 << 44  # segment offset for segmented running-max scans
+
+
+def _interleave(batch: LineRequestBatch) -> tuple[list[int], list[int]]:
+    """Materialize the round-robin line order as flat Python lists.
+
+    Streams are peeled in phases of equal remaining length: within a
+    phase every active stream contributes one line per round (a C-speed
+    ``zip`` of ranges), and streams drop out exactly at round ends —
+    the same order :meth:`LineRequestBatch.iter_round_robin` yields.
+    Returns ``(lines, writes)`` with writes as 0/1 ints.
+    """
+    active = [
+        [s.first_line, s.num_lines, 1 if s.is_write else 0]
+        for s in batch.streams
+        if s.num_lines
+    ]
+    lines: list[int] = []
+    writes: list[int] = []
+    while active:
+        rounds = min(entry[1] for entry in active)
+        if len(active) == 1:
+            first, count, is_write = active[0]
+            lines.extend(range(first, first + count))
+            writes.extend([is_write] * count)
+            break
+        lines.extend(
+            chain.from_iterable(
+                zip(*[range(entry[0], entry[0] + rounds) for entry in active])
+            )
+        )
+        writes.extend([entry[2] for entry in active] * rounds)
+        for entry in active:
+            entry[0] += rounds
+            entry[1] -= rounds
+        active = [entry for entry in active if entry[1]]
+    return lines, writes
+
+
+class _EngineQueue:
+    """Request-queue state + statistics (mirrors ``RequestQueue``'s API).
+
+    ``outstanding`` is the lazily-retired min-heap of in-flight
+    completions (exactly the reference queue's heap); ``pending`` holds
+    completions whose backpressure rank has not been consumed yet —
+    the sorted pool the vector path reads constraints from.
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "outstanding",
+        "pending",
+        "pushed",
+        "total_enqueued",
+        "total_stall_cycles",
+        "peak_occupancy",
+    )
+
+    def __init__(self, capacity: int, name: str) -> None:
+        if capacity < 1:
+            raise MemoryModelError(f"{name}: capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.outstanding: list[int] = []
+        self.pending: list[int] = []
+        self.pushed = 0
+        self.total_enqueued = 0
+        self.total_stall_cycles = 0
+        self.peak_occupancy = 0
+
+    def drain_time(self) -> int:
+        """Cycle at which every in-flight entry has completed."""
+        return max(self.outstanding) if self.outstanding else 0
+
+
+class BatchedEngine:
+    """Vectorized line pipeline, bit-exact to the reference engine."""
+
+    #: Batches below this many lines run the inlined scalar loop.
+    vector_threshold = 128
+
+    def __init__(
+        self,
+        dram: RamulatorLite,
+        read_queue_entries: int = 128,
+        write_queue_entries: int = 128,
+        max_issue_per_cycle: int = 1,
+    ) -> None:
+        if max_issue_per_cycle < 1:
+            raise DramError("max_issue_per_cycle must be >= 1")
+        self.timing = dram.timing
+        self.mapper = dram.mapper
+        self.max_issue_per_cycle = max_issue_per_cycle
+        self.read_queue = _EngineQueue(read_queue_entries, "read_queue")
+        self.write_queue = _EngineQueue(write_queue_entries, "write_queue")
+        self._issue_clock = 0
+
+        mapper = self.mapper
+        self.channels = mapper.channels
+        self.ranks = mapper.ranks
+        self.banks = mapper.banks
+        num_banks = self.channels * self.ranks * self.banks
+        # Canonical state is plain Python (fast for the scalar path);
+        # the vector path snapshots it into arrays per batch.
+        self._open_row = [-1] * num_banks
+        self._ready = [0] * num_banks
+        self._act = [-(10**9)] * num_banks
+        self._bus_ready = [0] * self.channels
+        # Per-channel statistics.
+        self._s_reads = [0] * self.channels
+        self._s_writes = [0] * self.channels
+        self._s_hits = [0] * self.channels
+        self._s_misses = [0] * self.channels
+        self._s_conflicts = [0] * self.channels
+        self._s_lat = [0] * self.channels
+        self._s_last = [0] * self.channels
+        self._s_first: list[int | None] = [None] * self.channels
+        self._s_bytes = [0] * self.channels
+        # Decode plan shared with AddressMapper: (line // stride) % size.
+        self._strides = mapper.field_strides
+        self._sizes = mapper.field_sizes
+
+    # ------------------------------------------------------------- protocol
+
+    def process_batch(self, batch: LineRequestBatch, issue_cycle: int) -> BatchResult:
+        """Issue every line of ``batch``; return the read-ready horizon."""
+        if issue_cycle < 0:
+            raise DramError(f"negative cycle {issue_cycle}")
+        clock0 = max(issue_cycle, self._issue_clock)
+        total = batch.total_lines
+        if total == 0:
+            self._issue_clock = clock0
+            return BatchResult(ready_cycle=clock0, lines_read=0, lines_written=0)
+        if total < self.vector_threshold:
+            return self._process_scalar(batch, clock0)
+        return self._process_vector(batch, clock0)
+
+    def drain(self) -> int:
+        """Cycle when every in-flight read and write has completed."""
+        return max(self.read_queue.drain_time(), self.write_queue.drain_time())
+
+    def aggregate_stats(self) -> DramStats:
+        """Merged statistics across all channels."""
+        merged = DramStats()
+        firsts = [f for f in self._s_first if f is not None]
+        merged.reads = sum(self._s_reads)
+        merged.writes = sum(self._s_writes)
+        merged.row_hits = sum(self._s_hits)
+        merged.row_misses = sum(self._s_misses)
+        merged.row_conflicts = sum(self._s_conflicts)
+        merged.total_read_latency = sum(self._s_lat)
+        merged.last_completion = max(self._s_last)
+        merged.bytes_transferred = sum(self._s_bytes)
+        merged.first_request_cycle = min(firsts) if firsts else None
+        return merged
+
+    def channel_stats(self, channel: int) -> DramStats:
+        """Statistics for one channel."""
+        return DramStats(
+            reads=self._s_reads[channel],
+            writes=self._s_writes[channel],
+            row_hits=self._s_hits[channel],
+            row_misses=self._s_misses[channel],
+            row_conflicts=self._s_conflicts[channel],
+            total_read_latency=self._s_lat[channel],
+            last_completion=self._s_last[channel],
+            first_request_cycle=self._s_first[channel],
+            bytes_transferred=self._s_bytes[channel],
+        )
+
+    # ---------------------------------------------------------- scalar path
+
+    def _process_scalar(self, batch: LineRequestBatch, clock0: int) -> BatchResult:
+        """Inlined per-line loop (reference semantics, no numpy)."""
+        timing = self.timing
+        t_burst = timing.t_burst
+        t_ccd = timing.t_ccd
+        t_ccd_wr = t_ccd + timing.t_wr
+        t_rcd = timing.t_rcd
+        t_rp = timing.t_rp
+        t_ras = timing.t_ras
+        t_cl = timing.t_cl
+        t_cwl = timing.t_cwl
+        strides = self._strides
+        st_ch, n_ch = strides["ch"], self.channels
+        st_ra, n_ra = strides["ra"], self.ranks
+        st_ba, n_ba = strides["ba"], self.banks
+        st_ro, n_ro = strides["ro"], self._sizes["ro"]
+        open_row = self._open_row
+        ready = self._ready
+        act = self._act
+        bus = self._bus_ready
+        s_reads, s_writes = self._s_reads, self._s_writes
+        s_hits, s_misses, s_conflicts = self._s_hits, self._s_misses, self._s_conflicts
+        s_lat, s_last, s_first, s_bytes = (
+            self._s_lat,
+            self._s_last,
+            self._s_first,
+            self._s_bytes,
+        )
+        heappush, heappop = heapq.heappush, heapq.heappop
+        read_q, write_q = self.read_queue, self.write_queue
+        out_r, out_w = read_q.outstanding, write_q.outstanding
+        pend_r, pend_w = read_q.pending, write_q.pending
+        cap_r, cap_w = read_q.capacity, write_q.capacity
+        pushed_r, pushed_w = read_q.pushed, write_q.pushed
+        stall_r = stall_w = 0
+        peak_r, peak_w = read_q.peak_occupancy, write_q.peak_occupancy
+        ipc = self.max_issue_per_cycle
+
+        clock = clock0
+        issued = 0
+        last_read = clock0
+        lines_read = 0
+        lines_written = 0
+
+        lines, writes = _interleave(batch)
+        for line, is_write in zip(lines, writes):
+            # Front-end issue bandwidth: max_issue_per_cycle lines/cycle.
+            if issued >= ipc:
+                clock += 1
+                issued = 0
+            if is_write:
+                out, pend, cap = out_w, pend_w, cap_w
+            else:
+                out, pend, cap = out_r, pend_r, cap_r
+            while out and out[0] <= clock:
+                heappop(out)
+            if len(out) >= cap:
+                issue_at = out[0]
+                if is_write:
+                    stall_w += issue_at - clock
+                else:
+                    stall_r += issue_at - clock
+                clock = issue_at
+                issued = 0
+                while out and out[0] <= clock:
+                    heappop(out)
+            # Decode.
+            chan = (line // st_ch) % n_ch
+            bank_index = (
+                (chan * n_ra + (line // st_ra) % n_ra) * n_ba + (line // st_ba) % n_ba
+            )
+            row = (line // st_ro) % n_ro
+            # Bank access.
+            start = ready[bank_index]
+            if start < clock:
+                start = clock
+            orow = open_row[bank_index]
+            if orow == row:
+                issue_bank = start
+                s_hits[chan] += 1
+            elif orow < 0:
+                issue_bank = start + t_rcd
+                act[bank_index] = start
+                s_misses[chan] += 1
+                open_row[bank_index] = row
+            else:
+                pre = act[bank_index] + t_ras
+                if start > pre:
+                    pre = start
+                new_act = pre + t_rp
+                act[bank_index] = new_act
+                issue_bank = new_act + t_rcd
+                s_conflicts[chan] += 1
+                open_row[bank_index] = row
+            # Shared data bus.
+            if is_write:
+                data_start = issue_bank + t_cwl
+                ready[bank_index] = issue_bank + t_ccd_wr
+            else:
+                data_start = issue_bank + t_cl
+                ready[bank_index] = issue_bank + t_ccd
+            bus_start = bus[chan]
+            if data_start > bus_start:
+                bus_start = data_start
+            completion = bus_start + t_burst
+            bus[chan] = completion
+            # Statistics.
+            if is_write:
+                s_writes[chan] += 1
+                lines_written += 1
+            else:
+                s_reads[chan] += 1
+                s_lat[chan] += completion - clock
+                lines_read += 1
+                if completion > last_read:
+                    last_read = completion
+            if s_first[chan] is None:
+                s_first[chan] = clock
+            if completion > s_last[chan]:
+                s_last[chan] = completion
+            s_bytes[chan] += LINE_BYTES
+            # Queue bookkeeping.
+            heappush(out, completion)
+            occupancy = len(out)
+            if is_write:
+                if occupancy > peak_w:
+                    peak_w = occupancy
+                if pushed_w >= cap_w:
+                    heappop(pend)
+                pushed_w += 1
+            else:
+                if occupancy > peak_r:
+                    peak_r = occupancy
+                if pushed_r >= cap_r:
+                    heappop(pend)
+                pushed_r += 1
+            heappush(pend, completion)
+            issued += 1
+
+        read_q.pushed = pushed_r
+        write_q.pushed = pushed_w
+        read_q.total_enqueued += lines_read
+        write_q.total_enqueued += lines_written
+        read_q.total_stall_cycles += stall_r
+        write_q.total_stall_cycles += stall_w
+        read_q.peak_occupancy = peak_r
+        write_q.peak_occupancy = peak_w
+        self._issue_clock = clock
+        return BatchResult(
+            ready_cycle=last_read, lines_read=lines_read, lines_written=lines_written
+        )
+
+    # ---------------------------------------------------------- vector path
+
+    def _process_vector(self, batch: LineRequestBatch, clock0: int) -> BatchResult:
+        timing = self.timing
+        t_burst = timing.t_burst
+        t_ccd = timing.t_ccd
+        t_wr = timing.t_wr
+        t_rcd = timing.t_rcd
+        t_rp = timing.t_rp
+        t_ras = timing.t_ras
+        t_cl = timing.t_cl
+        t_cwl = timing.t_cwl
+        ipc = self.max_issue_per_cycle
+        read_q, write_q = self.read_queue, self.write_queue
+
+        # --- 1. interleave + decode + per-call prefix counts --------------
+        streams = [s for s in batch.streams if s.num_lines]
+        lines = np.concatenate(
+            [
+                np.arange(s.first_line, s.first_line + s.num_lines, dtype=np.int64)
+                for s in streams
+            ]
+        )
+        is_write = np.concatenate(
+            [np.full(s.num_lines, s.is_write, dtype=bool) for s in streams]
+        )
+        if len(streams) > 1:
+            # Sort by (round, stream) — the round-robin issue order.
+            num_streams = len(streams)
+            keys = np.concatenate(
+                [
+                    np.arange(s.num_lines, dtype=np.int64) * num_streams + stream_id
+                    for stream_id, s in enumerate(streams)
+                ]
+            )
+            order = np.argsort(keys)
+            lines = lines[order]
+            is_write = is_write[order]
+        n = lines.size
+        chan, rank, bank, row = self.mapper.decode_batch(lines)
+        flat_bank = (chan * self.ranks + rank) * self.banks + bank
+        index = np.arange(n + 1, dtype=np.int64)  # shared 0..n ramp
+        writes_cum = np.cumsum(is_write)  # inclusive write count
+        reads_cum = index[1:] - writes_cum
+
+        # --- 2. numpy snapshots of the datapath state ---------------------
+        open_row = np.array(self._open_row, dtype=np.int64)
+        ready = np.array(self._ready, dtype=np.int64)
+        act = np.array(self._act, dtype=np.int64)
+        bus = np.array(self._bus_ready, dtype=np.int64)
+        pend_r = np.sort(np.array(read_q.pending, dtype=np.int64))
+        pend_w = np.sort(np.array(write_q.pending, dtype=np.int64))
+
+        issue_all = np.empty(n, dtype=np.int64)
+        comp_all = np.empty(n, dtype=np.int64)
+        cat_all = np.empty(n, dtype=np.int8)  # 0 hit / 1 miss / 2 conflict
+
+        pace_h = ipc * clock0  # running max in h-space (index origin: this call)
+        pos = 0
+        while pos < n:
+            # Longest prefix with at most `capacity` pushes per queue: all
+            # constraints then come from completions before the block.
+            reads_base = int(reads_cum[pos - 1]) if pos else 0
+            writes_base = int(writes_cum[pos - 1]) if pos else 0
+            end_r = int(
+                np.searchsorted(reads_cum, reads_base + read_q.capacity, side="right")
+            )
+            end_w = int(
+                np.searchsorted(writes_cum, writes_base + write_q.capacity, side="right")
+            )
+            block = min(end_r, end_w, n) - pos
+
+            while True:  # re-run with a shorter block on a rare rank violation
+                sl = slice(pos, pos + block)
+                wr_b = is_write[sl]
+                write_pos = wr_b.nonzero()[0]
+                read_pos = (~wr_b).nonzero()[0]
+
+                # --- queue constraints g: consumed order statistics -------
+                g = np.full(block, _LOW, dtype=np.int64)
+                for queue, pend, positions in (
+                    (read_q, pend_r, read_pos),
+                    (write_q, pend_w, write_pos),
+                ):
+                    count = positions.size
+                    if not count:
+                        continue
+                    skip = queue.capacity - queue.pushed
+                    if skip < 0:
+                        skip = 0
+                    if count > skip:
+                        g[positions[skip:]] = pend[: count - skip]
+
+                # --- front-end pacing scan --------------------------------
+                gidx = index[pos : pos + block]
+                h = ipc * g - gidx
+                hmax = np.maximum.accumulate(h)
+                np.maximum(hmax, pace_h, out=hmax)
+                issue = (gidx + hmax) // ipc
+                h_prev = np.empty(block, dtype=np.int64)
+                h_prev[0] = pace_h
+                h_prev[1:] = hmax[:-1]
+                stall = issue - (gidx + h_prev) // ipc
+
+                # --- bank timing (grouped, streak scans) ------------------
+                grouping = np.argsort(flat_bank[sl], kind="stable")
+                fb_s = flat_bank[sl][grouping]
+                row_s = row[sl][grouping]
+                cyc_s = issue[grouping]
+                wr_s = wr_b[grouping]
+                is_start = np.empty(block, dtype=bool)
+                is_start[0] = True
+                np.not_equal(fb_s[1:], fb_s[:-1], out=is_start[1:])
+                group_starts = is_start.nonzero()[0]
+                prev_row = np.empty(block, dtype=np.int64)
+                prev_row[1:] = row_s[:-1]
+                prev_row[group_starts] = open_row[fb_s[group_starts]]
+                hit = row_s == prev_row
+                not_hit = ~hit
+                all_hits = not not_hit.any()
+                run_start = is_start | not_hit
+                run_start[1:] |= not_hit[:-1]
+                run_id = np.cumsum(run_start) - 1
+                delta = np.where(wr_s, t_ccd + t_wr, t_ccd)
+                d_excl = np.empty(block, dtype=np.int64)
+                d_excl[0] = 0
+                np.cumsum(delta[:-1], out=d_excl[1:])
+                accum = cyc_s - d_excl + run_id * _BIG
+                streak_max = np.maximum.accumulate(accum) - run_id * _BIG
+                run_starts = run_start.nonzero()[0]
+                seeds = np.empty(run_starts.size, dtype=np.int64)
+                act_updates: list[tuple[int, int]] = []
+                if all_hits:
+                    # Every run starts a group here (one run per group).
+                    seeds[:] = ready[fb_s[run_starts]] - d_excl[run_starts]
+                else:
+                    seeds[:] = _LOW
+                    plain = hit[run_starts] & is_start[run_starts]
+                    seeds[plain] = (
+                        ready[fb_s[run_starts[plain]]] - d_excl[run_starts[plain]]
+                    )
+                    self._resolve_streak_boundaries(
+                        fb_s,
+                        cyc_s,
+                        prev_row,
+                        hit,
+                        is_start,
+                        run_id,
+                        run_starts,
+                        d_excl,
+                        delta,
+                        streak_max,
+                        ready,
+                        act,
+                        seeds,
+                        act_updates,
+                        t_rcd,
+                        t_rp,
+                        t_ras,
+                    )
+                issue_bank = d_excl + np.maximum(seeds[run_id], streak_max)
+                data_start_s = issue_bank + np.where(wr_s, t_cwl, t_cl)
+
+                # --- bus arbitration per channel --------------------------
+                data_start = np.empty(block, dtype=np.int64)
+                data_start[grouping] = data_start_s
+                if self.channels == 1:
+                    elem = data_start - index[:block] * t_burst
+                    if elem[0] < bus[0]:
+                        elem[0] = bus[0]
+                    completion = (
+                        index[1 : block + 1] * t_burst + np.maximum.accumulate(elem)
+                    )
+                else:
+                    chan_order = np.argsort(chan[sl], kind="stable")
+                    chan_s = chan[sl][chan_order]
+                    bus_in = data_start[chan_order]
+                    cstart = np.empty(block, dtype=bool)
+                    cstart[0] = True
+                    np.not_equal(chan_s[1:], chan_s[:-1], out=cstart[1:])
+                    chan_starts = cstart.nonzero()[0]
+                    seg_end = np.empty(chan_starts.size, dtype=np.int64)
+                    seg_end[:-1] = chan_starts[1:]
+                    seg_end[-1] = block
+                    within = index[:block] - np.repeat(
+                        chan_starts, seg_end - chan_starts
+                    )
+                    elem = bus_in - within * t_burst
+                    elem[chan_starts] = np.maximum(
+                        elem[chan_starts], bus[chan_s[chan_starts]]
+                    )
+                    seg_id = np.cumsum(cstart) - 1
+                    seg_max = (
+                        np.maximum.accumulate(elem + seg_id * _BIG) - seg_id * _BIG
+                    )
+                    completion_s = (within + 1) * t_burst + seg_max
+                    completion = np.empty(block, dtype=np.int64)
+                    completion[chan_order] = completion_s
+
+                # --- verify the order-statistic speculation ---------------
+                # Fast accept: if no completion undercuts any constraint at
+                # all, no in-block completion can displace a consumed rank.
+                if int(completion.min()) >= int(g.max()):
+                    break
+                violation = block
+                for positions in (read_pos, write_pos):
+                    if positions.size < 2:
+                        continue
+                    comp_q = completion[positions]
+                    run_min = np.minimum.accumulate(comp_q)
+                    bad = (run_min[:-1] < g[positions[1:]]).nonzero()[0]
+                    if bad.size:
+                        violation = min(violation, int(positions[int(bad[0]) + 1]))
+                if violation < block:
+                    block = violation
+                    continue
+                break
+
+            # --- commit the block ----------------------------------------
+            issue_all[sl] = issue
+            comp_all[sl] = completion
+            category_s = np.where(hit, 0, np.where(prev_row < 0, 1, 2)).astype(np.int8)
+            cat_all[sl][grouping] = category_s
+            pace_h = int(hmax[-1])
+            last_pos = np.empty(group_starts.size, dtype=np.int64)
+            last_pos[:-1] = group_starts[1:]
+            last_pos[-1] = block
+            last_pos -= 1
+            touched = fb_s[group_starts]
+            open_row[touched] = row_s[last_pos]
+            ready[touched] = issue_bank[last_pos] + delta[last_pos]
+            for bank_index, value in act_updates:
+                act[bank_index] = value
+            if self.channels == 1:
+                bus[0] = completion[-1]
+            else:
+                chan_last = np.empty(chan_starts.size, dtype=np.int64)
+                chan_last[:-1] = chan_starts[1:]
+                chan_last[-1] = block
+                chan_last -= 1
+                bus[chan_s[chan_starts]] = completion_s[chan_last]
+            for queue, positions in ((read_q, read_pos), (write_q, write_pos)):
+                count = positions.size
+                if not count:
+                    continue
+                skip = queue.capacity - queue.pushed
+                if skip < 0:
+                    skip = 0
+                consumed = count - skip if count > skip else 0
+                merged = np.sort(
+                    np.concatenate(
+                        [
+                            (pend_r if queue is read_q else pend_w)[consumed:],
+                            completion[positions],
+                        ]
+                    )
+                )
+                if queue is read_q:
+                    pend_r = merged
+                else:
+                    pend_w = merged
+                queue.pushed += count
+                queue.total_enqueued += count
+                queue.total_stall_cycles += int(stall[positions].sum())
+            pos += block
+
+        # --- per-call queue occupancy + outstanding -----------------------
+        reads_mask = ~is_write
+        for queue, pend, mask in (
+            (read_q, pend_r, reads_mask),
+            (write_q, pend_w, is_write),
+        ):
+            positions = mask.nonzero()[0]
+            if not positions.size:
+                continue
+            clocks = issue_all[positions]
+            comps = comp_all[positions]
+            prior = np.sort(np.array(queue.outstanding, dtype=np.int64))
+            alive_prior = prior.size - np.searchsorted(prior, clocks, side="right")
+            count = positions.size
+            retire_at = np.searchsorted(clocks, comps, side="left")
+            retired_cum = np.cumsum(
+                np.bincount(np.minimum(retire_at, count), minlength=count + 1)
+            )[:count]
+            occupancy = alive_prior + index[1 : count + 1] - retired_cum
+            peak = int(occupancy.max())
+            if peak > queue.peak_occupancy:
+                queue.peak_occupancy = peak
+            final_clock = int(clocks[-1])
+            keep_prior = prior[prior > final_clock]
+            keep_new = comps[comps > final_clock]
+            queue.outstanding = np.sort(
+                np.concatenate([keep_prior, keep_new])
+            ).tolist()
+            queue.pending = pend.tolist()
+
+        # --- per-call statistics ------------------------------------------
+        lines_read = int(np.count_nonzero(reads_mask))
+        lines_written = n - lines_read
+        if self.channels == 1:
+            read_lat = int(
+                (comp_all[reads_mask] - issue_all[reads_mask]).sum()
+            ) if lines_read else 0
+            self._accumulate_channel(
+                0,
+                lines_read,
+                lines_written,
+                int(np.count_nonzero(cat_all == 0)),
+                int(np.count_nonzero(cat_all == 1)),
+                int(np.count_nonzero(cat_all == 2)),
+                read_lat,
+                int(comp_all.max()),
+                int(issue_all[0]),
+                n,
+            )
+        else:
+            for chan_id in np.unique(chan).tolist():
+                mask = chan == chan_id
+                num = int(np.count_nonzero(mask))
+                read_sel = mask & reads_mask
+                cat_sel = cat_all[mask]
+                self._accumulate_channel(
+                    chan_id,
+                    int(np.count_nonzero(read_sel)),
+                    num - int(np.count_nonzero(read_sel)),
+                    int(np.count_nonzero(cat_sel == 0)),
+                    int(np.count_nonzero(cat_sel == 1)),
+                    int(np.count_nonzero(cat_sel == 2)),
+                    int((comp_all[read_sel] - issue_all[read_sel]).sum()),
+                    int(comp_all[mask].max()),
+                    int(issue_all[int(np.argmax(mask))]),
+                    num,
+                )
+
+        # --- write the state back -----------------------------------------
+        self._open_row = open_row.tolist()
+        self._ready = ready.tolist()
+        self._act = act.tolist()
+        self._bus_ready = bus.tolist()
+        self._issue_clock = int(issue_all[-1])
+
+        if lines_read:
+            ready_cycle = max(clock0, int(comp_all[reads_mask].max()))
+        else:
+            ready_cycle = clock0
+        return BatchResult(
+            ready_cycle=ready_cycle,
+            lines_read=lines_read,
+            lines_written=lines_written,
+        )
+
+    def _accumulate_channel(
+        self,
+        chan_id: int,
+        reads: int,
+        writes: int,
+        hits: int,
+        misses: int,
+        conflicts: int,
+        read_latency: int,
+        last_completion: int,
+        first_cycle: int,
+        num_lines: int,
+    ) -> None:
+        """Fold one batch's per-channel reductions into the running stats."""
+        self._s_reads[chan_id] += reads
+        self._s_writes[chan_id] += writes
+        self._s_hits[chan_id] += hits
+        self._s_misses[chan_id] += misses
+        self._s_conflicts[chan_id] += conflicts
+        self._s_lat[chan_id] += read_latency
+        if last_completion > self._s_last[chan_id]:
+            self._s_last[chan_id] = last_completion
+        if self._s_first[chan_id] is None:
+            self._s_first[chan_id] = first_cycle
+        self._s_bytes[chan_id] += LINE_BYTES * num_lines
+
+    @staticmethod
+    def _resolve_streak_boundaries(
+        fb_s: np.ndarray,
+        cyc_s: np.ndarray,
+        prev_row: np.ndarray,
+        hit: np.ndarray,
+        is_start: np.ndarray,
+        run_id: np.ndarray,
+        run_starts: np.ndarray,
+        d_excl: np.ndarray,
+        delta: np.ndarray,
+        streak_max: np.ndarray,
+        ready: np.ndarray,
+        act: np.ndarray,
+        seeds: np.ndarray,
+        act_updates: list[tuple[int, int]],
+        t_rcd: int,
+        t_rp: int,
+        t_ras: int,
+    ) -> None:
+        """Walk the rare row-miss/conflict boundaries of one block.
+
+        Only bank groups that contain a non-hit are visited; each group's
+        streaks are chained scalar (a boundary's timing depends on the
+        previous streak's final issue), with the hit-streaks in between
+        still resolved by the precomputed segmented running max.
+        """
+        block = fb_s.size
+        group_id = np.cumsum(is_start) - 1
+        bad_groups = np.unique(group_id[~hit])
+        group_bounds = np.append(is_start.nonzero()[0], block)
+        run_bounds = np.append(run_starts, block)
+        for group in bad_groups.tolist():
+            start = int(group_bounds[group])
+            end = int(group_bounds[group + 1])
+            bank_index = int(fb_s[start])
+            ready_c = int(ready[bank_index])
+            act_c = int(act[bank_index])
+            position = start
+            while position < end:
+                run = int(run_id[position])
+                run_end = int(run_bounds[run + 1])
+                if hit[position]:
+                    seed = ready_c - int(d_excl[position])
+                    seeds[run] = seed
+                    last = run_end - 1
+                    issue_last = int(d_excl[last]) + max(seed, int(streak_max[last]))
+                    ready_c = issue_last + int(delta[last])
+                else:
+                    demand = int(cyc_s[position])
+                    bank_start = demand if demand > ready_c else ready_c
+                    if int(prev_row[position]) < 0:  # row miss (bank idle)
+                        issue_b = bank_start + t_rcd
+                        act_c = bank_start
+                    else:  # row conflict: PRE (after tRAS), ACT, CAS
+                        pre = act_c + t_ras
+                        if bank_start > pre:
+                            pre = bank_start
+                        act_c = pre + t_rp
+                        issue_b = act_c + t_rcd
+                    seeds[run] = issue_b - int(d_excl[position])
+                    ready_c = issue_b + int(delta[position])
+                position = run_end
+            act_updates.append((bank_index, act_c))

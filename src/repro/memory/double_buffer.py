@@ -43,6 +43,11 @@ class MemoryBackend(Protocol):
         """Cycle at which all outstanding traffic (incl. writes) completes."""
         ...
 
+    @property
+    def stall_cycles_from_backpressure(self) -> int:
+        """Issue cycles lost to backend backpressure (0 for ideal memory)."""
+        ...
+
 
 class IdealBandwidthBackend:
     """SCALE-Sim v2's monolithic memory: fixed bandwidth, zero conflicts."""
@@ -72,6 +77,11 @@ class IdealBandwidthBackend:
 
     def drain(self) -> int:
         return self._busy_until
+
+    @property
+    def stall_cycles_from_backpressure(self) -> int:
+        """An ideal interface never backpressures the front-end."""
+        return 0
 
 
 @dataclass

@@ -18,6 +18,7 @@ post-processing of the layer's outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.compute_sim import ComputeSimulator, LayerComputeResult
 from repro.core.dataflow import Dataflow
@@ -33,6 +34,9 @@ from repro.core.dataflow import map_gemm
 from repro.multicore.simd import SimdUnit
 from repro.topology.layer import GemmLayer, GemmShape, Layer
 from repro.topology.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.double_buffer import MemoryBackend
 
 
 @dataclass(frozen=True)
@@ -65,11 +69,12 @@ class CoreOutcome:
     compute_cycles: int
     nop_cycles: int
     simd_cycles: int
+    dram_cycles: int = 0  # wait for the core's operands behind the memory seam
 
     @property
     def finish_cycles(self) -> int:
         """Core-local finish time."""
-        return self.compute_cycles + self.nop_cycles + self.simd_cycles
+        return self.compute_cycles + self.nop_cycles + self.simd_cycles + self.dram_cycles
 
 
 @dataclass
@@ -116,6 +121,7 @@ class MultiCoreSimulator:
         l2_sram_kb: int = 2048,
         word_bytes: int = 2,
         nonuniform: bool = False,
+        memory_backend: "MemoryBackend | None" = None,
     ) -> None:
         if partitions_row * partitions_col != len(cores):
             raise ConfigError(
@@ -134,6 +140,12 @@ class MultiCoreSimulator:
         self.l2_sram_kb = l2_sram_kb
         self.word_bytes = word_bytes
         self.nonuniform = nonuniform
+        # Optional shared main memory behind the engine seam
+        # (repro.dram.engine): when set, every core's operand traffic is
+        # routed through it, so cores contend for the same DRAM banks,
+        # buses and request queues the single-core datapath models.
+        self.memory_backend = memory_backend
+        self._memory_clock = 0
 
     @classmethod
     def homogeneous(
@@ -172,6 +184,7 @@ class MultiCoreSimulator:
         shares = self._work_shares(shape)
 
         outcomes: list[CoreOutcome] = []
+        layer_start = self._memory_clock
         for index, spec in enumerate(self.cores):
             core_shape = self._scaled_shape(sub_shape, shares[index] * len(self.cores))
             sim = ComputeSimulator(
@@ -194,6 +207,9 @@ class MultiCoreSimulator:
             simd_cycles = 0
             if spec.simd is not None:
                 simd_cycles = spec.simd.cycles(core_shape.ofmap_words, op="relu")
+            dram_cycles = 0
+            if self.memory_backend is not None:
+                dram_cycles = self._core_memory_cycles(index, core_shape, layer_start)
             outcomes.append(
                 CoreOutcome(
                     core_index=index,
@@ -203,6 +219,7 @@ class MultiCoreSimulator:
                     compute_cycles=compute.compute_cycles,
                     nop_cycles=nop_cycles,
                     simd_cycles=simd_cycles,
+                    dram_cycles=dram_cycles,
                 )
             )
 
@@ -234,6 +251,42 @@ class MultiCoreSimulator:
         return sum(result.latency_cycles for result in self.simulate_topology(topology))
 
     # ------------------------------------------------------------ internals
+
+    def _core_memory_cycles(
+        self, core_index: int, core_shape: GemmShape, layer_start: int
+    ) -> int:
+        """Route one core's operand traffic through the shared memory seam.
+
+        Each core fetches its *own* slice of the operand regions (cores
+        hold disjoint partitions, so their spans are offset by the core
+        index) and writes back its ofmap partition; all cores issue
+        against the same backend, so a later core's DMA sees the banks,
+        buses and request queues the earlier cores left busy — the
+        shared-memory contention of the paper's multi-core evaluation
+        (Section III-B).
+        """
+        from repro.core.compute_sim import TileFetch
+
+        backend = self.memory_backend
+        assert backend is not None
+        fetches = (
+            TileFetch(
+                "ifmap", core_index * core_shape.ifmap_words, core_shape.ifmap_words
+            ),
+            TileFetch(
+                "filter", core_index * core_shape.filter_words, core_shape.filter_words
+            ),
+            TileFetch(
+                "ofmap",
+                core_index * core_shape.ofmap_words,
+                core_shape.ofmap_words,
+                is_write=True,
+            ),
+        )
+        ready = backend.complete_fetches(fetches, layer_start)
+        if ready > self._memory_clock:
+            self._memory_clock = ready
+        return max(0, ready - layer_start)
 
     def _work_shares(self, shape: GemmShape) -> list[float]:
         """Per-core work fractions (uniform unless NoP-aware rebalancing)."""

@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
+from repro.config.system import VALID_DRAM_ENGINES
 from repro.core.report import write_sweep_report
 from repro.run.runner import run_simulation
 from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-reports",
         action="store_true",
         help="simulate without writing report files",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=VALID_DRAM_ENGINES,
+        default=None,
+        help="override the memory-datapath engine (default: config's dram.engine)",
     )
     return parser
 
@@ -124,7 +131,22 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--name", default="sweep", help="sweep name used for run names and the CSV"
     )
+    parser.add_argument(
+        "--engine",
+        choices=VALID_DRAM_ENGINES,
+        default=None,
+        help="override the memory-datapath engine (default: config's dram.engine)",
+    )
     return parser
+
+
+def _with_engine(config, engine: str | None):
+    """Return ``config`` with ``dram.engine`` overridden when requested."""
+    if engine is None:
+        return config
+    import dataclasses
+
+    return config.replace(dram=dataclasses.replace(config.dram, engine=engine))
 
 
 def _parse_axis_value(raw: str) -> object:
@@ -156,6 +178,7 @@ def sweep_main(argv: list[str]) -> int:
     """Entry point of the ``sweep`` subcommand."""
     args = build_sweep_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
+    config = _with_engine(config, args.engine)
     if args.topology:
         topology = Topology.from_csv(args.topology)
     else:
@@ -199,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
+    config = _with_engine(config, args.engine)
     if args.topology:
         topology = Topology.from_csv(args.topology)
     else:
@@ -224,7 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         stats = result.dram_stats
         print(
             f"dram:           {stats.reads} reads, {stats.writes} writes, "
-            f"row-hit rate {stats.row_hit_rate * 100:.1f}%"
+            f"row-hit rate {stats.row_hit_rate * 100:.1f}% "
+            f"({config.dram.engine} engine)"
         )
     for path in outputs.report_paths:
         print(f"report:         {path}")

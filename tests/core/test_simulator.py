@@ -98,6 +98,26 @@ class TestDramRuns:
         layer_result = sim.run_layer(toy_conv()[0])
         assert layer_result.total_cycles > 0
 
+    def test_backpressure_and_drain_surfaced_per_layer(self):
+        result = Simulator(
+            self._dram_config(read_queue_entries=1, write_queue_entries=1)
+        ).run(toy_conv())
+        # 1-entry queues stall the front-end constantly.
+        assert sum(layer.backpressure_stall_cycles for layer in result.layers) > 0
+        assert all(layer.drain_cycles >= 0 for layer in result.layers)
+
+    def test_ideal_backend_reports_zero_backpressure(self):
+        result = Simulator(_config()).run(toy_conv())
+        assert all(layer.backpressure_stall_cycles == 0 for layer in result.layers)
+
+    def test_engine_choice_is_bit_exact(self):
+        runs = {
+            engine: Simulator(self._dram_config(engine=engine)).run(toy_conv())
+            for engine in ("reference", "batched")
+        }
+        assert runs["reference"].total_cycles == runs["batched"].total_cycles
+        assert runs["reference"].dram_stats == runs["batched"].dram_stats
+
 
 class TestReports:
     def test_write_reports(self, tmp_path):
@@ -107,3 +127,18 @@ class TestReports:
         for path in paths:
             assert path.exists()
             assert path.read_text().count("\n") == len(result.layers) + 1
+
+    def test_backpressure_and_drain_columns_present(self, tmp_path):
+        config = SystemConfig(
+            arch=ArchitectureConfig(array_rows=8, array_cols=8),
+            dram=DramConfig(enabled=True, read_queue_entries=1, write_queue_entries=1),
+        )
+        result = Simulator(config).run(toy_conv())
+        result.write_reports(tmp_path)
+        detailed = (tmp_path / result.run_name / "DETAILED_ACCESS_REPORT.csv").read_text()
+        header = detailed.splitlines()[0]
+        assert header.endswith("DramBackpressureStallCycles,DramDrainCycles")
+        bandwidth = (tmp_path / result.run_name / "BANDWIDTH_REPORT.csv").read_text()
+        assert bandwidth.splitlines()[0].endswith(
+            "DramBackpressureStall%,AvgDramBwInclDrain(words/cycle)"
+        )
