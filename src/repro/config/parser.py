@@ -199,6 +199,7 @@ def parse_config_text(text: str) -> SystemConfig:
         c1_step=layout_sec.get_int("C1Step", 16),
         h1_step=layout_sec.get_int("H1Step", 4),
         w1_step=layout_sec.get_int("W1Step", 2),
+        evaluator=layout_sec.get_str("Evaluator", "vectorized").lower(),
     )
     layout_sec.reject_unknown_keys()
 
@@ -321,6 +322,7 @@ def serialize_config(config: SystemConfig) -> str:
                 ("C1Step", config.layout.c1_step),
                 ("H1Step", config.layout.h1_step),
                 ("W1Step", config.layout.w1_step),
+                ("Evaluator", config.layout.evaluator),
             ],
         ),
         (

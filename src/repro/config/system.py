@@ -26,6 +26,9 @@ VALID_SPARSE_REPRESENTATIONS = ("csr", "csc", "ellpack_block")
 #: Memory-datapath engines (see :mod:`repro.dram.engine`).
 VALID_DRAM_ENGINES = ("reference", "batched")
 
+#: Layout bank-conflict evaluators (see :mod:`repro.layout.conflict`).
+VALID_LAYOUT_EVALUATORS = ("reference", "vectorized")
+
 
 def _require(condition: bool, message: str) -> None:
     if not condition:
@@ -188,6 +191,11 @@ class LayoutConfig:
     c1_step: int = 16
     h1_step: int = 4
     w1_step: int = 2
+    # Bank-conflict evaluator: "vectorized" (numpy stack-distance scans,
+    # default) or "reference" (the scalar executable specification).
+    # Both produce bit-identical results; the knob exists for
+    # cross-validation and as the plug-in point for future evaluators.
+    evaluator: str = "vectorized"
 
     def __post_init__(self) -> None:
         _require(self.num_banks >= 1, f"num_banks must be >= 1, got {self.num_banks}")
@@ -196,6 +204,10 @@ class LayoutConfig:
         for name in ("c1_step", "h1_step", "w1_step"):
             value = getattr(self, name)
             _require(value >= 1, f"{name} must be >= 1, got {value}")
+        _require(
+            self.evaluator in VALID_LAYOUT_EVALUATORS,
+            f"evaluator must be one of {VALID_LAYOUT_EVALUATORS}, got {self.evaluator!r}",
+        )
 
     @property
     def total_bandwidth_words(self) -> int:

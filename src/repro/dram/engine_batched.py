@@ -134,8 +134,18 @@ class _EngineQueue:
 class BatchedEngine:
     """Vectorized line pipeline, bit-exact to the reference engine."""
 
-    #: Batches below this many lines run the inlined scalar loop.
-    vector_threshold = 128
+    #: Batches below this many lines run the inlined scalar loop.  Tuned
+    #: by ``benchmarks/perf/test_perf_batched_small.py``: the vector
+    #: path's fixed numpy-dispatch cost (~100 array ops) only amortizes
+    #: beyond ~190 lines.
+    vector_threshold = 192
+
+    #: Closed-form fast path for single-stream read-only batches (the
+    #: many ~30-line prefetch bursts): whole (bank, row) streaks resolve
+    #: as affine sequences with O(streaks) Python work — no per-line
+    #: loop, no numpy dispatch.  Exactness is guarded (and fuzzed); any
+    #: batch the guards reject falls through to scalar/vector.
+    single_stream_fast_path = True
 
     def __init__(
         self,
@@ -189,6 +199,10 @@ class BatchedEngine:
         if total == 0:
             self._issue_clock = clock0
             return BatchResult(ready_cycle=clock0, lines_read=0, lines_written=0)
+        if self.single_stream_fast_path:
+            result = self._process_single_stream(batch, clock0, total)
+            if result is not None:
+                return result
         if total < self.vector_threshold:
             return self._process_scalar(batch, clock0)
         return self._process_vector(batch, clock0)
@@ -224,6 +238,161 @@ class BatchedEngine:
             last_completion=self._s_last[channel],
             first_request_cycle=self._s_first[channel],
             bytes_transferred=self._s_bytes[channel],
+        )
+
+    # ------------------------------------------------- single-stream fast path
+
+    def _process_single_stream(
+        self, batch: LineRequestBatch, clock0: int, total: int
+    ) -> BatchResult | None:
+        """Closed-form pipeline for one contiguous read-only line stream.
+
+        The common prefetch burst — a single stream of consecutive read
+        lines on one channel, issued while every earlier read has already
+        completed — reduces to per-(bank, row) streaks whose issue/bus
+        recurrences telescope into affine sequences (``issue[i] = issue0
+        + i*tCCD``; ``completion[i] = max(data[i], bus-chain) + tBURST``).
+        Each streak costs O(1) Python arithmetic plus two ``range``
+        materializations; anything outside the guarded regime returns
+        ``None`` and takes the regular scalar/vector path.  Nothing is
+        mutated until every exactness guard has passed.
+        """
+        streams = [s for s in batch.streams if s.num_lines]
+        if len(streams) != 1 or streams[0].is_write or self.channels != 1:
+            return None
+        timing = self.timing
+        t_ccd = timing.t_ccd
+        t_cl = timing.t_cl
+        t_burst = timing.t_burst
+        if t_ccd < 1 or t_cl < 1 or t_burst < 1:
+            return None  # the streak telescoping needs CAS >= pacing rate
+        read_q = self.read_queue
+        cap = read_q.capacity
+        k = total
+        if k > cap:
+            return None  # backpressure possible
+        out_r = read_q.outstanding
+        if out_r and max(out_r) > clock0:
+            return None  # in-flight prior reads complicate occupancy
+        strides = self._strides
+        candidates = [
+            stride
+            for stride, size in (
+                (strides["ba"], self.banks),
+                (strides["ra"], self.ranks),
+                (strides["ro"], self._sizes["ro"]),
+            )
+            if size > 1
+        ]
+        s_min = min(candidates) if candidates else None
+        first_line = streams[0].first_line
+        if s_min is not None and (first_line % s_min) + k > s_min * max(2, k // 8):
+            return None  # (bank, row) interleaving too fine — streaks degenerate
+
+        st_ra, n_ra = strides["ra"], self.ranks
+        st_ba, n_ba = strides["ba"], self.banks
+        st_ro, n_ro_size = strides["ro"], self._sizes["ro"]
+        ipc = self.max_issue_per_cycle
+
+        # --- resolve every streak into locals (no state mutated yet).
+        open_row = self._open_row
+        ready = self._ready
+        act = self._act
+        t_ras, t_rp, t_rcd = timing.t_ras, timing.t_rp, timing.t_rcd
+        bus_chain = self._bus_ready[0]
+        completions: list[int] = []
+        line = first_line
+        remaining = k
+        index = 0  # batch-wide issue index (paces the front-end clock)
+        hits = misses = conflicts = 0
+        # Deferred state updates: bank -> (open_row, ready, act).
+        bank_updates: dict[int, tuple[int, int, int]] = {}
+        while remaining:
+            run = remaining if s_min is None else min(
+                remaining, s_min - (line % s_min)
+            )
+            bank_index = ((line // st_ra) % n_ra) * n_ba + (line // st_ba) % n_ba
+            row = (line // st_ro) % n_ro_size
+            clock_first = clock0 + index // ipc
+            orow, bank_ready, bank_act = bank_updates.get(
+                bank_index,
+                (open_row[bank_index], ready[bank_index], act[bank_index]),
+            )
+            start = bank_ready if bank_ready > clock_first else clock_first
+            if orow == row:
+                issue0 = start
+                hits += run
+            elif orow < 0:
+                issue0 = start + t_rcd
+                bank_act = issue0 - t_rcd
+                misses += 1
+                hits += run - 1
+            else:
+                pre = bank_act + t_ras
+                if start > pre:
+                    pre = start
+                bank_act = pre + t_rp
+                issue0 = bank_act + t_rcd
+                conflicts += 1
+                hits += run - 1
+            issue_last = issue0 + (run - 1) * t_ccd
+            bank_updates[bank_index] = (row, issue_last + t_ccd, bank_act)
+            # completion[i] = max(data0 + i*tCCD, max(data0, bus) + i*tBURST) + tBURST
+            data0 = issue0 + t_cl
+            a0 = data0 + t_burst
+            b0 = (data0 if data0 > bus_chain else bus_chain) + t_burst
+            if t_ccd > t_burst:
+                cross = -(-(b0 - a0) // (t_ccd - t_burst))
+                cross = 0 if cross < 0 else (run if cross > run else cross)
+            else:
+                cross = run  # the bus chain dominates throughout
+            completions.extend(range(b0, b0 + cross * t_burst, t_burst))
+            completions.extend(
+                range(a0 + cross * t_ccd, a0 + run * t_ccd, t_ccd)
+            )
+            bus_chain = completions[-1]
+            line += run
+            index += run
+            remaining -= run
+
+        clock_last = clock0 + (k - 1) // ipc
+        if completions[0] <= clock_last:
+            return None  # a completion would retire mid-batch
+
+        # --- commit: bank state, bus, queue, statistics.
+        for bank_index, (row, bank_ready, bank_act) in bank_updates.items():
+            open_row[bank_index] = row
+            ready[bank_index] = bank_ready
+            act[bank_index] = bank_act
+        self._bus_ready[0] = bus_chain
+        self._issue_clock = clock_last
+        # One pop per line once `pushed` reaches capacity (the scalar
+        # loop's rank-consumption rule), never more than k in one batch.
+        pops = min(k, max(0, read_q.pushed + k - cap))
+        pend = read_q.pending
+        if pops:
+            pend.sort()
+            del pend[:pops]
+        pend.extend(completions)  # ascending appends keep the heap valid
+        read_q.outstanding = completions.copy()
+        read_q.pushed += k
+        read_q.total_enqueued += k
+        if k > read_q.peak_occupancy:
+            read_q.peak_occupancy = k
+        full, rem = divmod(k, ipc)
+        clock_sum = k * clock0 + ipc * (full * (full - 1)) // 2 + rem * full
+        self._s_reads[0] += k
+        self._s_hits[0] += hits
+        self._s_misses[0] += misses
+        self._s_conflicts[0] += conflicts
+        self._s_lat[0] += sum(completions) - clock_sum
+        if completions[-1] > self._s_last[0]:
+            self._s_last[0] = completions[-1]
+        if self._s_first[0] is None:
+            self._s_first[0] = clock0
+        self._s_bytes[0] += LINE_BYTES * k
+        return BatchResult(
+            ready_cycle=completions[-1], lines_read=k, lines_written=0
         )
 
     # ---------------------------------------------------------- scalar path

@@ -1,14 +1,23 @@
 """Multi-bank on-chip data-layout modelling (paper Section VI)."""
 
 from repro.layout.spec import LayoutSpec, TensorView
-from repro.layout.conflict import BankConflictEvaluator, CycleCost
+from repro.layout.conflict import (
+    AVAILABLE_LAYOUT_EVALUATORS,
+    BankConflictEvaluator,
+    CycleCost,
+    make_conflict_evaluator,
+)
+from repro.layout.conflict_vectorized import VectorizedConflictEvaluator
 from repro.layout.integrate import LayoutEvalResult, evaluate_layout_slowdown
 
 __all__ = [
+    "AVAILABLE_LAYOUT_EVALUATORS",
     "LayoutSpec",
     "TensorView",
     "BankConflictEvaluator",
+    "VectorizedConflictEvaluator",
     "CycleCost",
     "LayoutEvalResult",
     "evaluate_layout_slowdown",
+    "make_conflict_evaluator",
 ]

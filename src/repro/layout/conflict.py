@@ -13,6 +13,20 @@ SCALE-Sim v2's pure bandwidth model instead charges
 (Figures 12/13) is the ratio of the two totals minus one, which can be
 negative: an open line delivers many elements per access, so well-laid-
 out requests beat the flat bandwidth assumption.
+
+Like the DRAM datapath (:mod:`repro.dram.engine`), the evaluation runs
+behind a *pluggable seam*:
+
+* :class:`BankConflictEvaluator` — the scalar semantics, one compute
+  cycle at a time with per-bank ``OrderedDict`` LRUs.  It is the
+  executable specification every other evaluator is validated against.
+* :class:`repro.layout.conflict_vectorized.VectorizedConflictEvaluator`
+  — the vectorized evaluator (offline LRU stack distances over whole
+  demand matrices), exact to the reference bit for bit.
+
+Both are selected by name through :func:`make_conflict_evaluator`
+(config ``[layout] Evaluator``, CLI ``--layout-evaluator``, sweepable
+as ``layout.evaluator``).
 """
 
 from __future__ import annotations
@@ -22,9 +36,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config.system import VALID_LAYOUT_EVALUATORS
 from repro.errors import LayoutError
 from repro.layout.spec import LayoutSpec
 from repro.utils.math import ceil_div
+
+#: Evaluator implementations selectable via ``layout.evaluator`` (the
+#: canonical list lives in :mod:`repro.config.system` so the config
+#: layer stays a leaf; this alias is the seam-side name).
+AVAILABLE_LAYOUT_EVALUATORS = VALID_LAYOUT_EVALUATORS
 
 
 @dataclass(frozen=True)
@@ -117,21 +137,33 @@ class BankConflictEvaluator:
         self.cycles_evaluated += 1
         return cost
 
-    def add_demand_matrix(self, demand: np.ndarray, base_offset: int = 0) -> None:
+    def add_demand_matrix(
+        self,
+        demand: np.ndarray,
+        base_offset: int = 0,
+        return_costs: bool = False,
+    ) -> list[CycleCost] | None:
         """Evaluate every row of a (cycles x ports) demand matrix.
 
         Entries below zero are bubbles; ``base_offset`` is subtracted to
-        convert operand-region addresses to tensor-local offsets.
+        convert operand-region addresses to tensor-local offsets.  With
+        ``return_costs`` the per-cycle :class:`CycleCost` stream is
+        returned (used by the cross-evaluator equivalence fuzz).
         """
         demand = np.asarray(demand)
+        costs: list[CycleCost] | None = [] if return_costs else None
         for row in demand:
             valid = row[row >= 0]
             if valid.size:
-                self.add_cycle(valid - base_offset)
+                cost = self.add_cycle(valid - base_offset)
             else:
+                cost = CycleCost(0, 1, 1)
                 self.total_layout_cycles += 1
                 self.total_bandwidth_cycles += 1
                 self.cycles_evaluated += 1
+            if costs is not None:
+                costs.append(cost)
+        return costs
 
     @property
     def slowdown(self) -> float:
@@ -139,3 +171,37 @@ class BankConflictEvaluator:
         if self.total_bandwidth_cycles == 0:
             return 0.0
         return self.total_layout_cycles / self.total_bandwidth_cycles - 1.0
+
+
+def make_conflict_evaluator(
+    name: str,
+    layout: LayoutSpec,
+    bandwidth_model_words: int,
+    row_buffers_per_bank: int = 4,
+) -> "BankConflictEvaluator":
+    """Build a bank-conflict evaluator by name.
+
+    ``reference`` is the scalar executable specification above;
+    ``vectorized`` (the default everywhere) resolves whole demand
+    matrices with numpy stack-distance scans.  Both expose the same
+    interface and produce bit-identical cost streams.
+    """
+    key = name.strip().lower()
+    if key == "reference":
+        return BankConflictEvaluator(
+            layout,
+            bandwidth_model_words=bandwidth_model_words,
+            row_buffers_per_bank=row_buffers_per_bank,
+        )
+    if key == "vectorized":
+        from repro.layout.conflict_vectorized import VectorizedConflictEvaluator
+
+        return VectorizedConflictEvaluator(
+            layout,
+            bandwidth_model_words=bandwidth_model_words,
+            row_buffers_per_bank=row_buffers_per_bank,
+        )
+    raise LayoutError(
+        f"unknown layout evaluator {name!r}; "
+        f"available: {', '.join(AVAILABLE_LAYOUT_EVALUATORS)}"
+    )

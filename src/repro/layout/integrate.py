@@ -1,14 +1,18 @@
 """Layout-aware memory latency for whole layers (Figures 12 and 13).
 
 Couples the cycle-accurate demand traces of :class:`TraceEngine` with
-:class:`BankConflictEvaluator`: the ifmap SRAM is the multi-banked
+the bank-conflict evaluator seam: the ifmap SRAM is the multi-banked
 buffer under study (it serves the highest-rate stream in every
 dataflow), and each compute cycle's ifmap requests are costed under the
 realistic bank model versus SCALE-Sim v2's flat bandwidth model.
 
-Full traces are O(cycles x ports), so callers bound the work with
-``max_folds``; the slowdown ratio converges after a handful of folds
-because the access pattern is periodic.
+Traces stream fold by fold — each fold's demand matrix is consumed (and
+released) before the next is generated, so memory stays O(one fold)
+rather than O(whole layer).  The default ``vectorized`` evaluator
+(:mod:`repro.layout.conflict_vectorized`) resolves each fold in a few
+numpy passes, which is what lets Figures 12/13 run at the paper's
+128x128 array on full-layer traces; ``evaluator="reference"`` selects
+the scalar executable specification for cross-validation.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ from repro.core.dataflow import Dataflow
 from repro.core.operand_matrix import FILTER_BASE, IFMAP_BASE, operand_matrices
 from repro.core.systolic import TraceEngine
 from repro.errors import LayoutError
-from repro.layout.conflict import BankConflictEvaluator
+from repro.layout.conflict import make_conflict_evaluator
 from repro.layout.spec import LayoutSpec, TensorView
 from repro.topology.layer import ConvLayer, GemmLayer, Layer
 
@@ -38,6 +42,7 @@ class LayoutEvalResult:
     layout_cycles: int
     bandwidth_cycles: int
     slowdown: float
+    evaluator: str = "vectorized"
 
 
 def _view_for_layer(layer: Layer) -> TensorView:
@@ -59,7 +64,8 @@ def evaluate_layout_slowdown(
     total_bandwidth_words: int,
     ports_per_bank: int = 1,
     layout: LayoutSpec | None = None,
-    max_folds: int | None = 8,
+    max_folds: int | None = None,
+    evaluator: str = "vectorized",
 ) -> LayoutEvalResult:
     """Slowdown of the banked-layout model versus the flat-BW model.
 
@@ -68,7 +74,10 @@ def evaluate_layout_slowdown(
             the layout model splits it evenly across ``num_banks``.
         layout: explicit layout; defaults to
             :meth:`LayoutSpec.default_for` on the layer's ifmap view.
-        max_folds: cap on folds traced (None = all folds).
+        max_folds: cap on folds traced (None, the default, traces the
+            full layer).
+        evaluator: ``"vectorized"`` (default) or ``"reference"`` — both
+            produce bit-identical results.
     """
     if isinstance(dataflow, str):
         dataflow = Dataflow.parse(dataflow)
@@ -85,26 +94,36 @@ def evaluate_layout_slowdown(
             bandwidth_per_bank=total_bandwidth_words // num_banks,
             ports_per_bank=ports_per_bank,
         )
-    evaluator = BankConflictEvaluator(layout, bandwidth_model_words=total_bandwidth_words)
+    conflict = make_conflict_evaluator(
+        evaluator, layout, bandwidth_model_words=total_bandwidth_words
+    )
     engine = TraceEngine(operand_matrices(layer), dataflow, array_rows, array_cols)
 
     for index, fold in enumerate(engine.fold_traces()):
         if max_folds is not None and index >= max_folds:
             break
         for matrix in (fold.row_port_demand, fold.col_port_demand):
+            top = int(matrix.max()) if matrix.size else -1
+            if top < IFMAP_BASE:
+                continue  # bubbles only — the reference skips these too
+            if top < FILTER_BASE:
+                # Pure ifmap stream: feed the trace through unmasked.
+                conflict.add_demand_matrix(matrix, base_offset=IFMAP_BASE)
+                continue
             ifmap_only = np.where(
                 (matrix >= IFMAP_BASE) & (matrix < FILTER_BASE), matrix, -1
             )
             if (ifmap_only >= 0).any():
-                evaluator.add_demand_matrix(ifmap_only, base_offset=IFMAP_BASE)
+                conflict.add_demand_matrix(ifmap_only, base_offset=IFMAP_BASE)
 
     return LayoutEvalResult(
         layer_name=layer.name,
         dataflow=dataflow,
         num_banks=num_banks,
         total_bandwidth=total_bandwidth_words,
-        cycles_evaluated=evaluator.cycles_evaluated,
-        layout_cycles=evaluator.total_layout_cycles,
-        bandwidth_cycles=evaluator.total_bandwidth_cycles,
-        slowdown=evaluator.slowdown,
+        cycles_evaluated=conflict.cycles_evaluated,
+        layout_cycles=conflict.total_layout_cycles,
+        bandwidth_cycles=conflict.total_bandwidth_cycles,
+        slowdown=conflict.slowdown,
+        evaluator=evaluator,
     )

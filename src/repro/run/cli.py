@@ -22,7 +22,7 @@ from pathlib import Path
 
 from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
-from repro.config.system import VALID_DRAM_ENGINES
+from repro.config.system import VALID_DRAM_ENGINES, VALID_LAYOUT_EVALUATORS
 from repro.core.report import write_sweep_report
 from repro.run.runner import run_simulation
 from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=VALID_DRAM_ENGINES,
         default=None,
         help="override the memory-datapath engine (default: config's dram.engine)",
+    )
+    parser.add_argument(
+        "--layout-evaluator",
+        choices=VALID_LAYOUT_EVALUATORS,
+        default=None,
+        help="override the layout bank-conflict evaluator "
+        "(default: config's layout.evaluator)",
     )
     return parser
 
@@ -137,6 +144,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the memory-datapath engine (default: config's dram.engine)",
     )
+    parser.add_argument(
+        "--layout-evaluator",
+        choices=VALID_LAYOUT_EVALUATORS,
+        default=None,
+        help="override the layout bank-conflict evaluator "
+        "(default: config's layout.evaluator)",
+    )
     return parser
 
 
@@ -147,6 +161,17 @@ def _with_engine(config, engine: str | None):
     import dataclasses
 
     return config.replace(dram=dataclasses.replace(config.dram, engine=engine))
+
+
+def _with_layout_evaluator(config, evaluator: str | None):
+    """Return ``config`` with ``layout.evaluator`` overridden when requested."""
+    if evaluator is None:
+        return config
+    import dataclasses
+
+    return config.replace(
+        layout=dataclasses.replace(config.layout, evaluator=evaluator)
+    )
 
 
 def _parse_axis_value(raw: str) -> object:
@@ -179,6 +204,7 @@ def sweep_main(argv: list[str]) -> int:
     args = build_sweep_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
     config = _with_engine(config, args.engine)
+    config = _with_layout_evaluator(config, args.layout_evaluator)
     if args.topology:
         topology = Topology.from_csv(args.topology)
     else:
@@ -223,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
     config = _with_engine(config, args.engine)
+    config = _with_layout_evaluator(config, args.layout_evaluator)
     if args.topology:
         topology = Topology.from_csv(args.topology)
     else:
@@ -250,6 +277,13 @@ def main(argv: list[str] | None = None) -> int:
             f"dram:           {stats.reads} reads, {stats.writes} writes, "
             f"row-hit rate {stats.row_hit_rate * 100:.1f}% "
             f"({config.dram.engine} engine)"
+        )
+    if outputs.layout_results:
+        worst = max(outputs.layout_results, key=lambda r: r.slowdown)
+        print(
+            f"layout:         worst slowdown {worst.slowdown:+.4f} "
+            f"({worst.layer_name}, {config.layout.num_banks} banks, "
+            f"{config.layout.evaluator} evaluator)"
         )
     for path in outputs.report_paths:
         print(f"report:         {path}")

@@ -15,6 +15,7 @@ from repro.core.simulator import RunResult, Simulator
 from repro.energy.accelergy import AccelergyLite, EnergyReport
 from repro.energy.actions import ActionCounts, count_actions
 from repro.energy.yaml_gen import write_action_counts_yaml, write_architecture_yaml
+from repro.layout.integrate import LayoutEvalResult, evaluate_layout_slowdown
 from repro.sparsity.report import write_sparse_report
 from repro.sparsity.sparse_compute import SparseComputeSimulator, SparseLayerResult
 from repro.topology.topology import Topology
@@ -29,6 +30,7 @@ class SimulationOutputs:
     run_result: RunResult
     energy_report: EnergyReport | None = None
     sparse_results: list[SparseLayerResult] = field(default_factory=list)
+    layout_results: list[LayoutEvalResult] = field(default_factory=list)
     report_paths: list[Path] = field(default_factory=list)
 
     @property
@@ -80,6 +82,37 @@ def _write_energy_report(
     return write_csv(out_dir / "ENERGY_REPORT.csv", header, rows)
 
 
+def _write_layout_report(results: list[LayoutEvalResult], out_dir: Path) -> Path:
+    header = [
+        "LayerID",
+        "LayerName",
+        "Dataflow",
+        "NumBanks",
+        "TotalBandwidth",
+        "Evaluator",
+        "CyclesEvaluated",
+        "LayoutCycles",
+        "BandwidthCycles",
+        "Slowdown",
+    ]
+    rows = [
+        [
+            index,
+            result.layer_name,
+            result.dataflow.value,
+            result.num_banks,
+            result.total_bandwidth,
+            result.evaluator,
+            result.cycles_evaluated,
+            result.layout_cycles,
+            result.bandwidth_cycles,
+            f"{result.slowdown:+.6f}",
+        ]
+        for index, result in enumerate(results)
+    ]
+    return write_csv(out_dir / "LAYOUT_REPORT.csv", header, rows)
+
+
 def run_simulation(
     config: SystemConfig,
     topology: Topology,
@@ -125,6 +158,26 @@ def run_simulation(
             for layer in topology
         ]
 
+    if config.layout.enabled and dense:
+        # The Section VI layout study: cost every layer's ifmap demand
+        # under the banked open-line model vs the flat bandwidth model,
+        # through the configured evaluator seam (layout.evaluator).  The
+        # per-layer layout itself uses the documented default packing
+        # for the config's bank/bandwidth split.
+        outputs.layout_results = [
+            evaluate_layout_slowdown(
+                layer,
+                config.arch.dataflow,
+                config.arch.array_rows,
+                config.arch.array_cols,
+                config.layout.num_banks,
+                config.layout.total_bandwidth_words,
+                ports_per_bank=config.layout.ports_per_bank,
+                evaluator=config.layout.evaluator,
+            )
+            for layer in topology
+        ]
+
     energy_engine: AccelergyLite | None = None
     if config.energy.enabled and dense:
         energy_engine = AccelergyLite(config.arch, config.energy)
@@ -132,6 +185,10 @@ def run_simulation(
 
     if write_reports:
         outputs.report_paths = run_result.write_reports(out_dir.parent)
+        if outputs.layout_results:
+            outputs.report_paths.append(
+                _write_layout_report(outputs.layout_results, out_dir)
+            )
         if outputs.sparse_results:
             outputs.report_paths.append(write_sparse_report(outputs.sparse_results, out_dir))
         if energy_engine is not None and outputs.energy_report is not None:

@@ -56,6 +56,13 @@ from repro.topology.topology import Topology
 #: Config sections an axis may touch (the run section is metadata, not a knob).
 _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicore")
 
+#: Simulator-semantics salt folded into every content key.  Bump this
+#: whenever output *shape or meaning* changes without a config-field
+#: change, so pre-existing disk caches re-simulate instead of serving
+#: stale rows.  2026-07: layout-evaluator seam + paper-scale fig12/13
+#: (the layout pipeline's outputs changed shape).
+_SEMANTICS_SALT = "v2-layout-vectorized-2026-07"
+
 
 @dataclass(frozen=True)
 class Axis:
@@ -255,6 +262,7 @@ def content_key(
     excluded, so renamed runs of the same point still hit the cache.
     """
     payload = {
+        "salt": _SEMANTICS_SALT,
         "config": {
             section: dataclasses.asdict(getattr(config, section))
             for section in _SWEEPABLE_SECTIONS

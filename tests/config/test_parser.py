@@ -44,6 +44,7 @@ WriteQueueEntries = 64
 Enabled = true
 NumBanks = 8
 BandwidthPerBank = 8
+Evaluator = reference
 
 [energy]
 Enabled = true
@@ -86,6 +87,10 @@ class TestParseFullConfig:
     def test_layout(self):
         layout = parse_config_text(FULL_CFG).layout
         assert layout.enabled and layout.num_banks == 8
+        assert layout.evaluator == "reference"
+
+    def test_layout_evaluator_defaults_to_vectorized(self):
+        assert parse_config_text("[general]\nrun_name = x\n").layout.evaluator == "vectorized"
 
     def test_energy(self):
         energy = parse_config_text(FULL_CFG).energy

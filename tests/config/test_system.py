@@ -96,6 +96,12 @@ class TestLayoutConfig:
         with pytest.raises(ConfigError):
             LayoutConfig(num_banks=0)
 
+    def test_evaluator_validated(self):
+        assert LayoutConfig().evaluator == "vectorized"
+        assert LayoutConfig(evaluator="reference").evaluator == "reference"
+        with pytest.raises(ConfigError):
+            LayoutConfig(evaluator="turbo")
+
 
 class TestEnergyConfig:
     def test_defaults(self):

@@ -96,6 +96,74 @@ def test_randomized_traffic_is_bit_exact(force_path):
         _assert_equivalent(reference, batched, trial)
 
 
+def test_single_stream_bursts_are_bit_exact():
+    """The closed-form single-stream fast path vs the reference.
+
+    Prefetch-shaped traffic — one contiguous read stream per batch,
+    spaced so earlier reads have retired — is exactly the regime the
+    fast path claims; interleave it with occasional disqualifying
+    batches (writes, multi-stream, tight spacing) so the guards and the
+    regular paths hand state back and forth.
+    """
+    for trial in range(15):
+        rng = random.Random(1_300 + trial)
+        dram_kwargs = dict(
+            technology=rng.choice(TECHNOLOGIES),
+            channels=1,
+            banks_per_rank=rng.choice((2, 4, 16)),
+            address_mapping=rng.choice(MAPPINGS),
+        )
+        queue_kwargs = dict(
+            read_queue_entries=rng.choice((8, 32, 128)),
+            max_issue_per_cycle=rng.choice((1, 2, 4)),
+        )
+        reference = DramBackend(
+            RamulatorLite(**dram_kwargs), engine="reference", **queue_kwargs
+        )
+        batched = DramBackend(
+            RamulatorLite(**dram_kwargs), engine="batched", **queue_kwargs
+        )
+        assert batched.engine.single_stream_fast_path
+        cycle = 0
+        base = 0
+        for _ in range(40):
+            if rng.random() < 0.8:  # the prefetch shape
+                fetches = (TileFetch("ifmap", base, rng.randint(1, 4000)),)
+                cycle += rng.randrange(500, 20_000)
+            else:  # disqualify: mixed streams / writes / tight spacing
+                fetches = (
+                    TileFetch("ifmap", base, rng.randint(1, 2000)),
+                    TileFetch("ofmap", base, rng.randint(1, 2000), is_write=True),
+                )
+                cycle += rng.randrange(0, 50)
+            base += rng.randrange(0, 100_000)
+            assert reference.complete_fetches(fetches, cycle) == batched.complete_fetches(
+                fetches, cycle
+            ), trial
+        _assert_equivalent(reference, batched, trial)
+
+
+def test_fast_path_disabled_matches_enabled():
+    """The fast path is a pure optimization: toggling it moves nothing."""
+    for trial in range(6):
+        rng = random.Random(60 + trial)
+        engines = []
+        for enabled in (True, False):
+            backend = DramBackend(
+                RamulatorLite(technology="ddr4", channels=1), engine="batched"
+            )
+            backend.engine.single_stream_fast_path = enabled
+            engines.append(backend)
+        cycle = 0
+        for _ in range(30):
+            fetches = (TileFetch("ifmap", rng.randrange(0, 10**6), rng.randint(1, 3000)),)
+            cycle += rng.randrange(0, 30_000)
+            assert engines[0].complete_fetches(fetches, cycle) == engines[
+                1
+            ].complete_fetches(fetches, cycle)
+        _assert_equivalent(engines[0], engines[1], trial)
+
+
 def test_saturated_queues_stall_identically():
     """Tiny queues force constant backpressure — the hardest regime."""
     for trial in range(8):

@@ -59,3 +59,40 @@ class TestEvaluateLayoutSlowdown:
         assert result.layer_name == "c"
         assert result.num_banks == 4
         assert result.total_bandwidth == 64
+        assert result.evaluator == "vectorized"
+
+    def test_default_traces_full_layer(self):
+        capped = evaluate_layout_slowdown(_conv(), "ws", 8, 8, 4, 64, max_folds=4)
+        full = evaluate_layout_slowdown(_conv(), "ws", 8, 8, 4, 64)
+        assert full.cycles_evaluated > capped.cycles_evaluated
+
+
+class TestEvaluatorSeam:
+    @pytest.mark.parametrize("dataflow", ["os", "ws", "is"])
+    def test_evaluators_bit_exact_through_integration(self, dataflow):
+        """The seam's two implementations agree on whole-layer results."""
+        results = [
+            evaluate_layout_slowdown(
+                _conv(), dataflow, 8, 8, 4, 64, max_folds=3, evaluator=name
+            )
+            for name in ("reference", "vectorized")
+        ]
+        ref, vec = results
+        assert ref.layout_cycles == vec.layout_cycles
+        assert ref.bandwidth_cycles == vec.bandwidth_cycles
+        assert ref.cycles_evaluated == vec.cycles_evaluated
+        assert ref.slowdown == vec.slowdown
+        assert (ref.evaluator, vec.evaluator) == ("reference", "vectorized")
+
+    def test_gemm_layers_bit_exact(self):
+        results = [
+            evaluate_layout_slowdown(
+                _gemm(), "ws", 8, 8, 4, 64, max_folds=3, evaluator=name
+            )
+            for name in ("reference", "vectorized")
+        ]
+        assert results[0].slowdown == results[1].slowdown
+
+    def test_unknown_evaluator_rejected(self):
+        with pytest.raises(LayoutError):
+            evaluate_layout_slowdown(_conv(), "ws", 8, 8, 4, 64, evaluator="turbo")

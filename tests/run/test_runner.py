@@ -5,6 +5,7 @@ import pytest
 from repro.config.system import (
     ArchitectureConfig,
     EnergyConfig,
+    LayoutConfig,
     SparsityConfig,
     SystemConfig,
 )
@@ -29,6 +30,36 @@ class TestRunSimulation:
         assert len(outputs.report_paths) == 3
         for path in outputs.report_paths:
             assert path.exists()
+
+    def test_layout_feature(self, tmp_path):
+        cfg = _config(layout=LayoutConfig(enabled=True, num_banks=4,
+                                          bandwidth_per_bank_words=16))
+        outputs = run_simulation(cfg, toy_conv(), output_dir=tmp_path)
+        assert len(outputs.layout_results) == len(toy_conv())
+        assert all(r.evaluator == "vectorized" for r in outputs.layout_results)
+        names = [p.name for p in outputs.report_paths]
+        assert "LAYOUT_REPORT.csv" in names
+
+    def test_layout_evaluator_knob_is_consumed(self):
+        """config.layout.evaluator selects the evaluator, bit-exactly."""
+        results = {}
+        for name in ("reference", "vectorized"):
+            cfg = _config(
+                layout=LayoutConfig(
+                    enabled=True, num_banks=2, bandwidth_per_bank_words=16,
+                    evaluator=name,
+                )
+            )
+            outputs = run_simulation(cfg, toy_conv(), write_reports=False)
+            results[name] = outputs.layout_results
+        for ref, vec in zip(results["reference"], results["vectorized"]):
+            assert (ref.evaluator, vec.evaluator) == ("reference", "vectorized")
+            assert ref.slowdown == vec.slowdown
+            assert ref.layout_cycles == vec.layout_cycles
+
+    def test_layout_disabled_by_default(self):
+        outputs = run_simulation(_config(), toy_conv(), write_reports=False)
+        assert outputs.layout_results == []
 
     def test_energy_feature(self, tmp_path):
         cfg = _config(energy=EnergyConfig(enabled=True))
