@@ -1,0 +1,46 @@
+"""The perf-trajectory aggregator stays in sync with the baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.perf.trajectory import PERF_DIR, build_trajectory, write_trajectory
+
+
+def test_every_committed_bench_is_aggregated():
+    trajectory = build_trajectory()
+    bench_files = {path.name for path in PERF_DIR.glob("BENCH_*.json")}
+    aggregated = {bench["file"] for bench in trajectory["benches"].values()}
+    assert aggregated == bench_files
+    assert bench_files, "no committed BENCH_*.json baselines found"
+
+
+def test_known_seams_report_speedups():
+    benches = build_trajectory()["benches"]
+    for seam in ("memory_datapath", "layout_conflict", "layout_fanout"):
+        assert seam in benches, f"missing perf baseline for {seam}"
+        assert benches[seam]["speedups"], f"{seam} baseline carries no speedups"
+
+
+def test_write_is_deterministic(tmp_path):
+    first = write_trajectory(out_path=tmp_path / "a.json")
+    second = write_trajectory(out_path=tmp_path / "b.json")
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_committed_trajectory_covers_baselines():
+    """TRAJECTORY.json is committed and structurally current.
+
+    Values drift run to run (the perf harnesses rewrite their BENCH
+    files with fresh timings before this test executes), so only the
+    bench set and speedup keys are pinned — a new or removed baseline
+    must be re-aggregated and committed.
+    """
+    committed_path = PERF_DIR / "TRAJECTORY.json"
+    assert committed_path.exists(), "run benchmarks/perf/trajectory.py and commit"
+    committed = json.loads(committed_path.read_text())
+    fresh = build_trajectory()
+    assert set(committed["benches"]) == set(fresh["benches"])
+    for name, bench in fresh["benches"].items():
+        assert set(committed["benches"][name]["speedups"]) == set(bench["speedups"]), name

@@ -10,17 +10,19 @@ scale).
 
 Runs at the paper's scale: the unscaled ResNet-18 conv2_1a layer on a
 128x128 array with full-layer traces (every fold) — made tractable by
-the vectorized bank-conflict evaluator (see
-``benchmarks/perf/test_perf_layout_conflict.py`` for the tracked
-speedup over the scalar reference).
+the vectorized bank-conflict evaluator and the trace fan-out: each
+dataflow's whole (bandwidth x banks) grid shares one streaming trace
+pass through ``evaluate_layout_slowdown_many`` (see
+``benchmarks/perf/test_perf_layout_fanout.py`` for the tracked
+speedup over independent per-config calls).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit_table
-from repro.layout.integrate import evaluate_layout_slowdown
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
+from repro.layout.integrate import LayoutEvalConfig, evaluate_layout_slowdown_many
 from repro.topology.models import resnet18
 
 pytestmark = pytest.mark.slow
@@ -31,17 +33,30 @@ ARRAY = 128  # the paper's array size
 SCALE = 1  # full-size layer
 MAX_FOLDS = None  # full-layer traces
 
+GRID = [
+    LayoutEvalConfig(num_banks=banks, total_bandwidth_words=bw)
+    for bw in BANDWIDTHS
+    for banks in BANKS
+]
+
 
 def _sweep():
     layer = resnet18(scale=SCALE).layer_named("conv2_1a")
     table = {}
     for dataflow in ("is", "ws", "os"):
-        for bw in BANDWIDTHS:
-            for banks in BANKS:
-                result = evaluate_layout_slowdown(
-                    layer, dataflow, ARRAY, ARRAY, banks, bw, max_folds=MAX_FOLDS
-                )
-                table[(dataflow, bw, banks)] = result.slowdown
+        results = evaluate_layout_slowdown_many(
+            layer,
+            dataflow,
+            ARRAY,
+            ARRAY,
+            GRID,
+            max_folds=MAX_FOLDS,
+            workers=SWEEP_WORKERS,
+        )
+        for config, result in zip(GRID, results):
+            table[(dataflow, config.total_bandwidth_words, config.num_banks)] = (
+                result.slowdown
+            )
     return table
 
 

@@ -7,15 +7,16 @@ dual-stream dataflows suffer visible conflicts.
 
 Runs at the paper's scale: the unscaled ViT-base ff1 GEMM on a 128x128
 array with full-layer traces, via the vectorized bank-conflict
-evaluator.
+evaluator — each dataflow's whole grid riding one streaming trace pass
+through ``evaluate_layout_slowdown_many``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit_table
-from repro.layout.integrate import evaluate_layout_slowdown
+from benchmarks.conftest import SWEEP_WORKERS, emit_table
+from repro.layout.integrate import LayoutEvalConfig, evaluate_layout_slowdown_many
 from repro.topology.models import vit_base
 
 pytestmark = pytest.mark.slow
@@ -26,17 +27,30 @@ ARRAY = 128  # the paper's array size
 SCALE = 1  # full-size layer
 MAX_FOLDS = None  # full-layer traces
 
+GRID = [
+    LayoutEvalConfig(num_banks=banks, total_bandwidth_words=bw)
+    for bw in BANDWIDTHS
+    for banks in BANKS
+]
+
 
 def _sweep():
     layer = vit_base(scale=SCALE, blocks=1).layer_named("block0_ff1")
     table = {}
     for dataflow in ("is", "ws", "os"):
-        for bw in BANDWIDTHS:
-            for banks in BANKS:
-                result = evaluate_layout_slowdown(
-                    layer, dataflow, ARRAY, ARRAY, banks, bw, max_folds=MAX_FOLDS
-                )
-                table[(dataflow, bw, banks)] = result.slowdown
+        results = evaluate_layout_slowdown_many(
+            layer,
+            dataflow,
+            ARRAY,
+            ARRAY,
+            GRID,
+            max_folds=MAX_FOLDS,
+            workers=SWEEP_WORKERS,
+        )
+        for config, result in zip(GRID, results):
+            table[(dataflow, config.total_bandwidth_words, config.num_banks)] = (
+                result.slowdown
+            )
     return table
 
 

@@ -165,3 +165,51 @@ def write_sweep_report(results: list["SweepResult"], path: str | Path) -> Path:
             ]
         )
     return write_csv(path, header, rows)
+
+
+def write_layout_sweep_report(results: list["SweepResult"], path: str | Path) -> Path:
+    """Write one CSV row per (sweep point, layer) layout evaluation.
+
+    The sweep counterpart of the per-run ``LAYOUT_REPORT.csv``: sweeps
+    whose configs enable the layout study carry per-layer
+    :class:`~repro.layout.integrate.LayoutEvalResult` rows on every
+    point (computed through the trace fan-out when points differ only
+    in ``layout.*`` axes).  Like :func:`write_sweep_report`, the bytes
+    depend only on the simulated inputs.
+    """
+    header = [
+        "PointID",
+        "LayerID",
+        "LayerName",
+        "Dataflow",
+        "NumBanks",
+        "TotalBandwidth",
+        "Evaluator",
+        "CyclesEvaluated",
+        "LayoutCycles",
+        "BandwidthCycles",
+        "Slowdown",
+    ]
+    rows = []
+    for result in results:
+        for layer_id, layout in enumerate(result.layout_results):
+            rows.append(
+                [
+                    result.index,
+                    layer_id,
+                    layout.layer_name,
+                    layout.dataflow.value,
+                    layout.num_banks,
+                    layout.total_bandwidth,
+                    layout.evaluator,
+                    layout.cycles_evaluated,
+                    layout.layout_cycles,
+                    layout.bandwidth_cycles,
+                    f"{layout.slowdown:+.6f}",
+                ]
+            )
+    if not rows:
+        raise ReportError(
+            f"refusing to write an empty layout sweep report to {path}"
+        )
+    return write_csv(path, header, rows)

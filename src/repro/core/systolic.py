@@ -149,6 +149,30 @@ class TraceEngine:
 
     # ------------------------------------------------------------- dataflows
 
+    @staticmethod
+    def _fill_skewed(port: np.ndarray, data: np.ndarray, start: int) -> None:
+        """Write ``data[j]`` into ``port[start + j + arange(L), j]``.
+
+        Every dataflow's streaming/drain phase is the same diagonal skew:
+        lane ``j`` carries ``data[j, :]`` starting one cycle after lane
+        ``j - 1``.  The skew is a *sheared view* of the port matrix —
+        element (j, i) lives at flat offset ``(start + j + i) * C + j``,
+        i.e. strides ``(C + 1, C)`` — so one strided block assignment
+        replaces the per-lane Python loop.  Distinct (j, i) map to
+        distinct offsets (offsets with equal j + i differ by j < C), so
+        the view aliases nothing.
+        """
+        lanes, length = data.shape
+        if not lanes or not length:
+            return
+        row_stride, col_stride = port.strides
+        sheared = np.lib.stride_tricks.as_strided(
+            port[start:],
+            shape=(lanes, length),
+            strides=(row_stride + col_stride, row_stride),
+        )
+        sheared[:, :] = data
+
     def _fill_ws(
         self,
         row_port: np.ndarray,
@@ -165,16 +189,13 @@ class TraceEngine:
         ifmap = self.operands.ifmap  # (K, N)
         ofmap = self.operands.ofmap  # (M, N)
         # Preload: cycle p pushes stationary row p = W[sc0:sc0+cols, sr0+p].
-        for p in range(rows_used):
-            col_port[p, :cols_used] = filt[sc0 : sc0 + cols_used, sr0 + p]
+        col_port[:rows_used, :cols_used] = filt[
+            sc0 : sc0 + cols_used, sr0 : sr0 + rows_used
+        ].T
         # Stream: row r consumes X[sr0 + r, n] at cycle R + n + r.
-        base = self.rows
-        for r in range(rows_used):
-            row_port[base + r : base + r + t, r] = ifmap[sr0 + r, :t]
+        self._fill_skewed(row_port, ifmap[sr0 : sr0 + rows_used, :t], self.rows)
         # Drain: column c emits O[sc0 + c, n] at cycle 2R - 1 + c + n.
-        drain = 2 * self.rows - 1
-        for c in range(cols_used):
-            out_port[drain + c : drain + c + t, c] = ofmap[sc0 + c, :t]
+        self._fill_skewed(out_port, ofmap[sc0 : sc0 + cols_used, :t], 2 * self.rows - 1)
 
     def _fill_is(
         self,
@@ -191,14 +212,11 @@ class TraceEngine:
         filt = self.operands.filter  # (M, K)
         ifmap = self.operands.ifmap  # (K, N)
         ofmap = self.operands.ofmap  # (M, N)
-        for p in range(rows_used):
-            col_port[p, :cols_used] = ifmap[sr0 + p, sc0 : sc0 + cols_used]
-        base = self.rows
-        for r in range(rows_used):
-            row_port[base + r : base + r + t, r] = filt[:t, sr0 + r]
-        drain = 2 * self.rows - 1
-        for c in range(cols_used):
-            out_port[drain + c : drain + c + t, c] = ofmap[:t, sc0 + c]
+        col_port[:rows_used, :cols_used] = ifmap[
+            sr0 : sr0 + rows_used, sc0 : sc0 + cols_used
+        ]
+        self._fill_skewed(row_port, filt[:t, sr0 : sr0 + rows_used].T, self.rows)
+        self._fill_skewed(out_port, ofmap[:t, sc0 : sc0 + cols_used].T, 2 * self.rows - 1)
 
     def _fill_os(
         self,
@@ -216,14 +234,12 @@ class TraceEngine:
         ifmap = self.operands.ifmap  # (K, N)
         ofmap = self.operands.ofmap  # (M, N)
         # Row r consumes W[sr0 + r, k] at cycle k + r.
-        for r in range(rows_used):
-            row_port[r : r + t, r] = filt[sr0 + r, :t]
+        self._fill_skewed(row_port, filt[sr0 : sr0 + rows_used, :t], 0)
         # Column c consumes X[k, sc0 + c] at cycle k + c.
-        for c in range(cols_used):
-            col_port[c : c + t, c] = ifmap[:t, sc0 + c]
+        self._fill_skewed(col_port, ifmap[:t, sc0 : sc0 + cols_used].T, 0)
         # Drain: column c emits rows_used partials starting at T + R - 1 + c.
-        drain = t + self.rows - 1
-        for c in range(cols_used):
-            out_port[drain + c : drain + c + rows_used, c] = ofmap[
-                sr0 : sr0 + rows_used, sc0 + c
-            ]
+        self._fill_skewed(
+            out_port,
+            ofmap[sr0 : sr0 + rows_used, sc0 : sc0 + cols_used].T,
+            t + self.rows - 1,
+        )

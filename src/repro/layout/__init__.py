@@ -5,10 +5,17 @@ from repro.layout.conflict import (
     AVAILABLE_LAYOUT_EVALUATORS,
     BankConflictEvaluator,
     CycleCost,
+    FoldDemand,
+    build_fold_demand,
     make_conflict_evaluator,
 )
 from repro.layout.conflict_vectorized import VectorizedConflictEvaluator
-from repro.layout.integrate import LayoutEvalResult, evaluate_layout_slowdown
+from repro.layout.integrate import (
+    LayoutEvalConfig,
+    LayoutEvalResult,
+    evaluate_layout_slowdown,
+    evaluate_layout_slowdown_many,
+)
 
 __all__ = [
     "AVAILABLE_LAYOUT_EVALUATORS",
@@ -17,7 +24,11 @@ __all__ = [
     "BankConflictEvaluator",
     "VectorizedConflictEvaluator",
     "CycleCost",
+    "FoldDemand",
+    "LayoutEvalConfig",
     "LayoutEvalResult",
+    "build_fold_demand",
     "evaluate_layout_slowdown",
+    "evaluate_layout_slowdown_many",
     "make_conflict_evaluator",
 ]

@@ -56,6 +56,107 @@ class CycleCost:
     bandwidth_cycles: int
 
 
+@dataclass(frozen=True)
+class FoldDemand:
+    """Layout-independent demand artifact for one demand-matrix feed.
+
+    Everything a conflict evaluator needs that does *not* depend on the
+    layout under test, precomputed once so a whole grid of evaluator
+    configurations can consume the same fold (the trace fan-out of
+    :func:`repro.layout.integrate.evaluate_layout_slowdown_many`):
+
+    * ``cycles`` / ``requests`` — the matrix's row count and the raw
+      (pre-dedup) valid-request count per row, which the flat bandwidth
+      model charges.
+    * ``cycle_index`` / ``offsets`` — the per-cycle demand stream,
+      sorted by (cycle, offset) and deduplicated per cycle.  Equal
+      offsets share a (bank, line) under every layout, so this dedup is
+      layout-independent; evaluators still dedup per-cycle *keys* (two
+      distinct offsets may share a line).
+
+    Feeding an evaluator through :meth:`BankConflictEvaluator.
+    add_fold_demand` is bit-identical to feeding it the raw matrix
+    through ``add_demand_matrix`` — for the reference and the
+    vectorized implementation alike, which is what keeps the
+    cross-evaluator fuzz meaningful for the fan-out path.
+    """
+
+    cycles: int
+    requests: np.ndarray  # (cycles,) int64 raw request counts
+    cycle_index: np.ndarray  # (n,) int64, non-decreasing
+    offsets: np.ndarray  # (n,) int64 tensor-local offsets
+
+    @property
+    def total_requests(self) -> int:
+        """Raw requests across the fold (pre-dedup)."""
+        return int(self.requests.sum())
+
+
+def build_fold_demand(
+    demand: np.ndarray, base_offset: int = 0, dedup: bool = True
+) -> "FoldDemand":
+    """Extract the layout-independent artifact from a demand matrix.
+
+    Entries below zero are bubbles; ``base_offset`` is subtracted to
+    convert operand-region addresses to tensor-local offsets (exactly
+    as ``add_demand_matrix`` would).
+
+    ``dedup=False`` skips the (cycle, offset) sort and per-cycle offset
+    dedup, leaving the stream in raw matrix order (still grouped by
+    cycle).  Evaluation is bit-identical either way — evaluators dedup
+    per-cycle *keys* regardless — so single-consumer feeds use the
+    cheap form while fan-outs pay the one sort that every
+    configuration then shares.
+    """
+    demand = np.asarray(demand, dtype=np.int64)
+    if demand.ndim != 2:
+        raise LayoutError(f"demand matrix must be 2-D, got shape {demand.shape}")
+    rows = demand.shape[0]
+    valid = demand >= 0
+    if demand.size:
+        requests = valid.sum(axis=1, dtype=np.int64)
+    else:
+        requests = np.zeros(rows, dtype=np.int64)
+    offsets = demand[valid]
+    if base_offset:
+        offsets -= base_offset  # demand[valid] is already a copy
+    if not offsets.size:
+        return FoldDemand(
+            cycles=rows,
+            requests=requests,
+            cycle_index=np.empty(0, dtype=np.int64),
+            offsets=offsets,
+        )
+    if not dedup:
+        return FoldDemand(
+            cycles=rows,
+            requests=requests,
+            cycle_index=np.repeat(np.arange(rows, dtype=np.int64), requests),
+            offsets=offsets,
+        )
+    # One packed sort yields the (cycle, offset) order and the per-cycle
+    # offset dedup in a handful of array passes.
+    lo = int(offsets.min())
+    span = int(offsets.max()) - lo + 1
+    if rows * span >= np.iinfo(np.int64).max:
+        raise LayoutError(
+            f"demand matrix too large to pack: {rows} cycles x offset span {span}"
+        )
+    combined = np.repeat(np.arange(rows, dtype=np.int64) * span, requests)
+    combined += offsets - lo
+    combined.sort()
+    keep = np.empty(combined.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(combined[1:], combined[:-1], out=keep[1:])
+    combined = combined[keep]
+    return FoldDemand(
+        cycles=rows,
+        requests=requests,
+        cycle_index=combined // span,
+        offsets=combined % span + lo,
+    )
+
+
 class BankConflictEvaluator:
     """Accumulates per-cycle costs for a layout and a bandwidth budget.
 
@@ -104,6 +205,15 @@ class BankConflictEvaluator:
         requests = int(offsets.size)
         if requests == 0:
             return CycleCost(0, 1, 1)
+        return self._cost_of_deduped_cycle(offsets, requests)
+
+    def _cost_of_deduped_cycle(self, offsets: np.ndarray, requests: int) -> CycleCost:
+        """One cycle's cost from (possibly pre-deduplicated) offsets.
+
+        ``requests`` is the raw request count the bandwidth model
+        charges; the LRU walk dedups per-cycle keys anyway, so feeding
+        offset-deduplicated streams (``FoldDemand``) is bit-exact.
+        """
         line_id, _, bank_id = self.layout.locate(offsets)
         keys = bank_id * (self.layout.num_lines + 1) + line_id
         unique_keys = np.unique(keys)
@@ -156,6 +266,39 @@ class BankConflictEvaluator:
             valid = row[row >= 0]
             if valid.size:
                 cost = self.add_cycle(valid - base_offset)
+            else:
+                cost = CycleCost(0, 1, 1)
+                self.total_layout_cycles += 1
+                self.total_bandwidth_cycles += 1
+                self.cycles_evaluated += 1
+            if costs is not None:
+                costs.append(cost)
+        return costs
+
+    def add_fold_demand(
+        self, fold: FoldDemand, return_costs: bool = False
+    ) -> list[CycleCost] | None:
+        """Evaluate one fold from its layout-independent artifact.
+
+        Bit-identical to feeding the raw matrix through
+        :meth:`add_demand_matrix`: the artifact's per-cycle offset dedup
+        never changes the per-cycle key set, and the raw request counts
+        it carries keep the bandwidth model exact.
+        """
+        costs: list[CycleCost] | None = [] if return_costs else None
+        bounds = np.searchsorted(
+            fold.cycle_index, np.arange(fold.cycles + 1, dtype=np.int64)
+        )
+        for row in range(fold.cycles):
+            raw = int(fold.requests[row])
+            if raw:
+                cost = self._cost_of_deduped_cycle(
+                    fold.offsets[bounds[row] : bounds[row + 1]], raw
+                )
+                self.total_layout_cycles += cost.layout_cycles
+                self.total_bandwidth_cycles += cost.bandwidth_cycles
+                self.total_requests += cost.requests
+                self.cycles_evaluated += 1
             else:
                 cost = CycleCost(0, 1, 1)
                 self.total_layout_cycles += 1

@@ -4,12 +4,18 @@ Bit-exact to :class:`repro.layout.conflict.BankConflictEvaluator`, but
 the per-cycle Python loop (per-bank ``OrderedDict`` LRUs) is replaced by
 array passes over whole demand matrices:
 
-* **request extraction + decode** — one boolean mask pass yields every
-  valid request with its compute cycle; (bank, line) keys come from a
-  lazily-built lookup table over the tensor's element space (the trace
-  re-reads the same elements thousands of times, so decoding each
-  distinct offset once beats re-running the index arithmetic per
-  request).
+* **request extraction + decode** — the layout-independent half
+  (boolean masking, per-cycle request counts, the (cycle, offset) sort
+  and per-cycle offset dedup) lives in
+  :func:`repro.layout.conflict.build_fold_demand`, so a fan-out over
+  many evaluator configurations computes it once per fold
+  (:meth:`VectorizedConflictEvaluator.add_fold_demand`); (bank, line)
+  keys come from a lazily-built lookup table over the tensor's element
+  space (the trace re-reads the same elements thousands of times, so
+  decoding each distinct offset once beats re-running the index
+  arithmetic per request), and fan-outs whose configurations share
+  inter-line steps derive each LUT from one shared decode
+  (:meth:`VectorizedConflictEvaluator.prime_key_lut`).
 * **per-cycle dedup** — the reference walks ``np.unique`` keys per
   cycle; one global sort of ``cycle * key_space + key`` reproduces that
   exact (cycle, then ascending key) touch order for the whole matrix.
@@ -25,11 +31,12 @@ array passes over whole demand matrices:
      window repeats, so ``D = gap`` exactly (the segmented running-max
      is one scan).  This covers the periodic line-cycling that
      dominates systolic traces;
-  3. residual touches — ``D = gap - #{j in window : p[j] > p[k]}``,
-     where the subtrahend is a prev-greater-element count resolved
-     offline by a bottom-up merge count (sorted blocks + one global
-     ``searchsorted`` per level, banks kept disjoint by segment
-     offsets).
+  3. residual touches — ``D = #{j in window : p[j] <= p[k]}``, counted
+     directly: one vector pass per window offset while windows stay
+     shallow, one contiguous slice per touch when residuals are few,
+     and otherwise a full offline prev-greater merge count (sorted
+     blocks + one global ``searchsorted`` per level, banks kept
+     disjoint by segment offsets).
 
 * **cost reduction** — per-(cycle, bank) new-line counts and the
   per-cycle ``worst_new`` maximum are segmented ``reduceat`` scans; the
@@ -46,13 +53,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.layout.conflict import BankConflictEvaluator, CycleCost
+from repro.layout.conflict import (
+    BankConflictEvaluator,
+    CycleCost,
+    FoldDemand,
+    build_fold_demand,
+)
 from repro.layout.spec import LayoutSpec
 
 #: Tensors up to this many elements get a (bank, line) decode LUT.
 _LUT_MAX_ELEMENTS = 1 << 22
 
 _INT32_MAX = np.iinfo(np.int32).max
+
+#: Residual windows are counted directly (one contiguous slice per
+#: touch) while their summed lengths stay under this budget; beyond it
+#: the gap-class difference-array passes or the offline merge count
+#: take over (see the residual dispatch in ``_resolve_worst_new``).
+_WINDOW_SCAN_BUDGET = 1 << 24
 
 
 def _count_prev_greater(values: np.ndarray) -> np.ndarray:
@@ -123,7 +141,8 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
 
     Inherits the reference's validated construction, accumulation
     counters and ``slowdown`` property; every evaluation path funnels
-    through the offline :meth:`_evaluate` pass.
+    through the offline :meth:`_evaluate_fold` pass over a
+    :class:`~repro.layout.conflict.FoldDemand` artifact.
     """
 
     def __init__(
@@ -150,8 +169,10 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
             return CycleCost(0, 1, 1)
         if (offsets < 0).any():
             self.layout.locate(offsets)  # raises the reference's LayoutError
-        costs = self._evaluate(
-            offsets.reshape(1, -1), 0, accumulate=False, return_costs=True
+        costs = self._evaluate_fold(
+            build_fold_demand(offsets.reshape(1, -1), dedup=False),
+            accumulate=False,
+            return_costs=True,
         )
         assert costs is not None
         return costs[0]
@@ -161,8 +182,10 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
         offsets = np.asarray(offsets, dtype=np.int64)
         if (offsets < 0).any():
             self.layout.locate(offsets)  # raises the reference's LayoutError
-        costs = self._evaluate(
-            offsets.reshape(1, -1), 0, accumulate=True, return_costs=True
+        costs = self._evaluate_fold(
+            build_fold_demand(offsets.reshape(1, -1), dedup=False),
+            accumulate=True,
+            return_costs=True,
         )
         assert costs is not None
         return costs[0]
@@ -174,11 +197,51 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
         return_costs: bool = False,
     ) -> list[CycleCost] | None:
         """Evaluate every row of a (cycles x ports) demand matrix."""
-        return self._evaluate(
-            demand, base_offset, accumulate=True, return_costs=return_costs
+        return self._evaluate_fold(
+            build_fold_demand(demand, base_offset, dedup=False),
+            accumulate=True,
+            return_costs=return_costs,
         )
 
+    def add_fold_demand(
+        self, fold: FoldDemand, return_costs: bool = False
+    ) -> list[CycleCost] | None:
+        """Evaluate one fold from its layout-independent artifact.
+
+        The fan-out entry point: the caller builds the
+        :class:`~repro.layout.conflict.FoldDemand` once per fold and
+        broadcasts it to every evaluator configuration; only the
+        address -> (bank, line) mapping and the LRU stack-distance
+        cascade below run per configuration.
+        """
+        return self._evaluate_fold(fold, accumulate=True, return_costs=return_costs)
+
     # ----------------------------------------------------------- decode LUT
+
+    def prime_key_lut(self, line_id: np.ndarray, col_id: np.ndarray) -> None:
+        """Adopt a shared (line, col) decode of the tensor's element space.
+
+        ``line_id`` / ``col_id`` depend only on the layout's inter-line
+        steps, not on its bank split, so a fan-out over configurations
+        sharing those steps computes them once (one
+        :meth:`~repro.layout.spec.LayoutSpec.locate` over the element
+        space) and derives each configuration's key LUT here with two
+        cheap array ops.  Bit-exact: this is precisely the LUT
+        :meth:`_keys_for` would build from its own ``locate`` call.
+        """
+        layout = self.layout
+        num_elements = layout.view.num_elements
+        if num_elements > _LUT_MAX_ELEMENTS:
+            return  # the LUT path is disabled for huge tensors anyway
+        if line_id.shape != (num_elements,) or col_id.shape != (num_elements,):
+            raise ValueError(
+                f"decode arrays must cover the element space ({num_elements},)"
+            )
+        num_lines1 = layout.num_lines + 1
+        keys = (col_id // layout.bandwidth_per_bank) * num_lines1 + line_id
+        key_space = layout.num_banks * num_lines1
+        dtype = np.int32 if key_space <= _INT32_MAX else np.int64
+        self._key_lut = keys.astype(dtype, copy=False)
 
     def _keys_for(self, offsets: np.ndarray) -> np.ndarray:
         """(bank, line) keys (``bank * (num_lines+1) + line``) per offset."""
@@ -202,41 +265,28 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
 
     # --------------------------------------------------------- offline pass
 
-    def _evaluate(
+    def _evaluate_fold(
         self,
-        demand: np.ndarray,
-        base_offset: int,
+        fold: FoldDemand,
         accumulate: bool,
         return_costs: bool,
     ) -> list[CycleCost] | None:
-        demand = np.asarray(demand, dtype=np.int64)
-        rows = demand.shape[0]
-        valid = demand >= 0
-        requests = (
-            valid.sum(axis=1, dtype=np.int64) if demand.size else np.zeros(rows, np.int64)
-        )
+        rows = fold.cycles
+        requests = fold.requests
         worst_new = np.zeros(rows, dtype=np.int64)
 
-        if demand.size and requests.any():
-            offsets = demand[valid]
-            if base_offset:
-                offsets -= base_offset  # demand[valid] is already a copy
-            keys = self._keys_for(offsets)
+        if fold.offsets.size:
+            keys = self._keys_for(fold.offsets)
             num_lines1 = self.layout.num_lines + 1
             key_space = self.layout.num_banks * num_lines1
             # One global sort reproduces the reference's per-cycle
-            # ascending-key walk; adjacent duplicates are the same
-            # (cycle, bank, line) touched twice in one cycle.
+            # ascending-key walk; adjacent duplicates are distinct
+            # offsets sharing a (cycle, bank, line).
             if rows * key_space <= _INT32_MAX:
-                combined = np.repeat(
-                    np.arange(rows, dtype=np.int32) * np.int32(key_space), requests
-                )
+                combined = fold.cycle_index.astype(np.int32) * np.int32(key_space)
                 combined += keys.astype(np.int32, copy=False)
             else:
-                combined = np.repeat(
-                    np.arange(rows, dtype=np.int64) * np.int64(key_space), requests
-                )
-                combined += keys.astype(np.int64, copy=False)
+                combined = fold.cycle_index * np.int64(key_space) + keys
             combined.sort()
             keep = np.empty(combined.size, dtype=bool)
             keep[0] = True
@@ -336,8 +386,12 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
             r = index + g_offset[g_id]
 
         # --- previous occurrence of the same (bank, line), as a per-bank
-        # position p (-1 when the line was never touched before).
-        if key_all.dtype == np.int64 and key_space <= _INT32_MAX:
+        # position p (-1 when the line was never touched before).  The
+        # narrowest integer view keeps the stable (radix) sort to as few
+        # passes as possible.
+        if key_space <= 1 << 16:
+            by_key = np.argsort(key_all.astype(np.uint16), kind="stable")
+        elif key_all.dtype == np.int64 and key_space <= _INT32_MAX:
             by_key = np.argsort(key_all.astype(np.int32), kind="stable")
         else:
             by_key = np.argsort(key_all, kind="stable")
@@ -376,28 +430,55 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
         res_idx = residual.nonzero()[0]
         if res_idx.size:
             bank_all = key_all // num_lines1
-            res_banks = np.unique(bank_all[res_idx])
-            if res_idx.size <= 4096 and res_banks.size <= 32:
-                # Sparse residuals (typically fold-boundary touches whose
-                # previous use sits in the preamble): count each window
-                # directly — D = #{j in window : p[j] <= p[k]} (the
-                # first-in-window touches are exactly the distinct lines).
-                for bank in res_banks.tolist():
-                    p_bank = p[(bank_all == bank).nonzero()[0]]
-                    for t in res_idx[bank_all[res_idx] == bank].tolist():
-                        lo = int(p[t])
-                        window = p_bank[lo + 1 : int(r[t])]
-                        hit[t] = int(np.count_nonzero(window <= lo)) < row_buffers
+            if num_banks <= 1 << 8:
+                by_bank = np.argsort(bank_all.astype(np.uint8), kind="stable")
+            elif num_banks <= 1 << 16:
+                by_bank = np.argsort(bank_all.astype(np.uint16), kind="stable")
             else:
-                # Dense residuals: one offline merge count resolves every
-                # touch's distance at once.
                 by_bank = np.argsort(bank_all, kind="stable")
-                bank_seq = bank_all[by_bank]
+            p_seq = p[by_bank].astype(np.int64)
+            bank_seq = bank_all[by_bank]
+            res_gap = gap[res_idx].astype(np.int64)
+            seg_first = np.searchsorted(
+                bank_seq, np.arange(num_banks, dtype=bank_seq.dtype)
+            ).astype(np.int64)
+            gap_classes, class_counts = np.unique(res_gap, return_counts=True)
+            # Dominant window lengths (periodic revisit strides) resolve
+            # with one O(n) pass each; the straggler classes (typically
+            # fold-boundary touches) fall to the per-touch slice count.
+            # Strategy choice is by estimated work: per-touch slices cost
+            # their summed window lengths, a gap-class pass costs O(n).
+            dominant = class_counts >= max(64, res_idx.size // 64)
+            stragglers = int(class_counts[~dominant].sum())
+            total_window = int(res_gap.sum()) - res_idx.size
+            if res_idx.size <= 16384 and total_window <= _WINDOW_SCAN_BUDGET:
+                self._resolve_residuals_by_slice(
+                    res_idx, p, r, bank_all, p_seq, seg_first, hit
+                )
+            elif dominant.sum() <= 32 and stragglers <= 16384:
+                self._resolve_residuals_by_gap_class(
+                    res_idx,
+                    res_gap,
+                    gap_classes[dominant],
+                    p,
+                    bank_all,
+                    p_seq,
+                    bank_seq,
+                    seg_first,
+                    hit,
+                )
+                if stragglers:
+                    strag = np.isin(res_gap, gap_classes[~dominant]).nonzero()[0]
+                    self._resolve_residuals_by_slice(
+                        res_idx[strag], p, r, bank_all, p_seq, seg_first, hit
+                    )
+            else:
+                # Many residuals over many window lengths: one offline
+                # merge count resolves every touch's distance at once.
                 seg_start = np.empty(n, dtype=bool)
                 seg_start[0] = True
                 seg_start[1:] = bank_seq[1:] != bank_seq[:-1]
                 seg_id = np.cumsum(seg_start) - 1
-                p_seq = p[by_bank]
                 inversions = _count_prev_greater(
                     (p_seq + 1) + seg_id * np.int64(n + 2)
                 )
@@ -442,3 +523,68 @@ class VectorizedConflictEvaluator(BankConflictEvaluator):
             keep_lo = max(lo, hi - row_buffers)
             state[int(lg_bank[lo])] = lg_line[keep_lo:hi].tolist()
         self._bank_lines = state
+
+    def _resolve_residuals_by_slice(
+        self,
+        res_idx: np.ndarray,
+        p: np.ndarray,
+        r: np.ndarray,
+        bank_all: np.ndarray,
+        p_seq: np.ndarray,
+        seg_first: np.ndarray,
+        hit: np.ndarray,
+    ) -> None:
+        """Resolve residual windows with one contiguous slice count each.
+
+        ``D = #{j in window : p[j] <= p[k]}`` — the first-in-window
+        touches are exactly the distinct lines.
+        """
+        row_buffers = self.row_buffers_per_bank
+        starts = seg_first[bank_all[res_idx]]
+        for t, start, lo_t in zip(
+            res_idx.tolist(), starts.tolist(), p[res_idx].tolist()
+        ):
+            window = p_seq[start + lo_t + 1 : start + int(r[t])]
+            hit[t] = int(np.count_nonzero(window <= lo_t)) < row_buffers
+
+    def _resolve_residuals_by_gap_class(
+        self,
+        res_idx: np.ndarray,
+        res_gap: np.ndarray,
+        gap_classes: np.ndarray,
+        p: np.ndarray,
+        bank_all: np.ndarray,
+        p_seq: np.ndarray,
+        bank_seq: np.ndarray,
+        seg_first: np.ndarray,
+        hit: np.ndarray,
+    ) -> None:
+        """Resolve residual windows exactly, one O(n) pass per window length.
+
+        Periodic systolic traces revisit lines at a handful of fixed
+        strides, so residual touches cluster into very few distinct gap
+        values.  For one gap ``g`` every query is a length-(g-1)
+        sliding window, and the distinct-line count of *every* window
+        start resolves offline: per-bank position ``j`` is
+        first-in-window (``p[j] <= s``) for exactly the window starts
+        ``s in [max(p[j], j - g + 1), j - 1]``, so two ``bincount``
+        difference arrays plus one ``cumsum`` yield
+        ``D(s) = #{first-in-window touches}`` for all ``s`` at once.
+        Queries then gather their window start's count.
+        """
+        n = p_seq.size
+        row_buffers = self.row_buffers_per_bank
+        index = np.arange(n, dtype=np.int64)
+        seg_start_j = seg_first[bank_seq]  # global start of each touch's bank
+        # Class-independent interval floor: the window start can never
+        # precede the line's previous touch or the segment start.
+        floor = seg_start_j + np.maximum(p_seq, 0)
+        q_pos = seg_first[bank_all[res_idx]] + p[res_idx]  # window starts, global
+        for g in gap_classes.tolist():
+            sel = (res_gap == g).nonzero()[0]
+            lo = np.maximum(floor, index - g + 1)
+            valid = lo < index  # interval [lo, j - 1] non-empty
+            add = np.bincount(lo[valid], minlength=n)
+            sub = np.bincount(index[valid], minlength=n)
+            counts = np.cumsum(add[:n] - sub[:n])
+            hit[res_idx[sel]] = counts[q_pos[sel]] < row_buffers

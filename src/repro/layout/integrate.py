@@ -6,9 +6,27 @@ buffer under study (it serves the highest-rate stream in every
 dataflow), and each compute cycle's ifmap requests are costed under the
 realistic bank model versus SCALE-Sim v2's flat bandwidth model.
 
-Traces stream fold by fold — each fold's demand matrix is consumed (and
-released) before the next is generated, so memory stays O(one fold)
-rather than O(whole layer).  The default ``vectorized`` evaluator
+Two entry points share one pipeline:
+
+* :func:`evaluate_layout_slowdown` — one (banks, bandwidth, layout)
+  configuration.  Traces stream fold by fold — each fold's demand is
+  consumed (and released) before the next is generated, so memory
+  stays O(one fold) rather than O(whole layer).
+* :func:`evaluate_layout_slowdown_many` — the **trace fan-out**: one
+  streaming pass over the layer's fold traces feeds an arbitrary grid
+  of evaluator configurations simultaneously.  The layout-independent
+  work (operand matrices, trace generation, ifmap masking, the
+  per-fold (cycle, offset) sort/dedup — see
+  :class:`repro.layout.conflict.FoldDemand`) runs once; only the
+  address -> (bank, line) mapping and the LRU stack-distance cascade
+  run per configuration, with configurations sharing inter-line steps
+  also sharing one (line, col) decode of the element space.  Results
+  are bit-identical to independent calls — both paths consume the same
+  artifacts.  ``workers > 1`` additionally fans the per-configuration
+  evaluation over a process pool (fold artifacts are then materialised
+  for the batch, trading the O(one fold) footprint for parallelism).
+
+The default ``vectorized`` evaluator
 (:mod:`repro.layout.conflict_vectorized`) resolves each fold in a few
 numpy passes, which is what lets Figures 12/13 run at the paper's
 128x128 array on full-layer traces; ``evaluator="reference"`` selects
@@ -17,6 +35,7 @@ the scalar executable specification for cross-validation.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,9 +44,19 @@ from repro.core.dataflow import Dataflow
 from repro.core.operand_matrix import FILTER_BASE, IFMAP_BASE, operand_matrices
 from repro.core.systolic import TraceEngine
 from repro.errors import LayoutError
-from repro.layout.conflict import make_conflict_evaluator
+from repro.layout.conflict import (
+    BankConflictEvaluator,
+    FoldDemand,
+    build_fold_demand,
+    make_conflict_evaluator,
+)
+from repro.layout.conflict_vectorized import (
+    _LUT_MAX_ELEMENTS,
+    VectorizedConflictEvaluator,
+)
 from repro.layout.spec import LayoutSpec, TensorView
 from repro.topology.layer import ConvLayer, GemmLayer, Layer
+from repro.utils.pool import pool_context
 
 
 @dataclass(frozen=True)
@@ -45,6 +74,34 @@ class LayoutEvalResult:
     evaluator: str = "vectorized"
 
 
+@dataclass(frozen=True)
+class LayoutEvalConfig:
+    """One evaluator configuration of a layout fan-out grid."""
+
+    num_banks: int
+    total_bandwidth_words: int
+    ports_per_bank: int = 1
+    layout: LayoutSpec | None = None
+    evaluator: str = "vectorized"
+    row_buffers_per_bank: int = 4
+
+    def resolve_layout(self, view: TensorView) -> LayoutSpec:
+        """The configuration's layout (explicit, or the documented default)."""
+        if self.total_bandwidth_words % self.num_banks:
+            raise LayoutError(
+                f"total bandwidth {self.total_bandwidth_words} not divisible by "
+                f"{self.num_banks} banks"
+            )
+        if self.layout is not None:
+            return self.layout
+        return LayoutSpec.default_for(
+            view,
+            num_banks=self.num_banks,
+            bandwidth_per_bank=self.total_bandwidth_words // self.num_banks,
+            ports_per_bank=self.ports_per_bank,
+        )
+
+
 def _view_for_layer(layer: Layer) -> TensorView:
     if isinstance(layer, ConvLayer):
         return TensorView(c_dim=layer.channels, h_dim=layer.ifmap_h, w_dim=layer.ifmap_w)
@@ -53,6 +110,184 @@ def _view_for_layer(layer: Layer) -> TensorView:
         # (fastest axis), K splits into a synthetic H x W.
         return TensorView.for_matrix(layer.k, layer.n)
     raise LayoutError(f"unsupported layer type: {type(layer).__name__}")
+
+
+def _fold_demand_stream(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    max_folds: int | None,
+) -> Iterator[FoldDemand]:
+    """Yield each fold's ifmap demand artifact, in execution order."""
+    engine = TraceEngine(operand_matrices(layer), dataflow, array_rows, array_cols)
+    for index, fold in enumerate(engine.fold_traces()):
+        if max_folds is not None and index >= max_folds:
+            break
+        for matrix in (fold.row_port_demand, fold.col_port_demand):
+            top = int(matrix.max()) if matrix.size else -1
+            if top < IFMAP_BASE:
+                continue  # bubbles only — the reference skips these too
+            if top < FILTER_BASE:
+                # Pure ifmap stream: feed the trace through unmasked.
+                yield build_fold_demand(matrix, base_offset=IFMAP_BASE)
+                continue
+            ifmap_only = np.where(
+                (matrix >= IFMAP_BASE) & (matrix < FILTER_BASE), matrix, -1
+            )
+            if (ifmap_only >= 0).any():
+                yield build_fold_demand(ifmap_only, base_offset=IFMAP_BASE)
+
+
+def _make_evaluators(
+    configs: Sequence[LayoutEvalConfig],
+    layouts: Sequence[LayoutSpec],
+) -> list[BankConflictEvaluator]:
+    """Build one evaluator per configuration, sharing decode work.
+
+    Vectorized evaluators whose layouts share inter-line steps decode
+    the element space once (one ``locate`` call) and derive each
+    configuration's (bank, line) LUT from it — bit-exact to the LUT
+    each would lazily build on its own.
+    """
+    evaluators = [
+        make_conflict_evaluator(
+            cfg.evaluator,
+            layout,
+            bandwidth_model_words=cfg.total_bandwidth_words,
+            row_buffers_per_bank=cfg.row_buffers_per_bank,
+        )
+        for cfg, layout in zip(configs, layouts)
+    ]
+    by_steps: dict[
+        tuple[TensorView, int, int, int], list[VectorizedConflictEvaluator]
+    ] = {}
+    for evaluator, layout in zip(evaluators, layouts):
+        if (
+            isinstance(evaluator, VectorizedConflictEvaluator)
+            and layout.view.num_elements <= _LUT_MAX_ELEMENTS
+        ):
+            # Keyed by the full (view, steps) decode identity: explicit
+            # layouts may view the operand differently, and sharing a
+            # decode across views would be wrong.
+            steps = (layout.view, layout.c1_step, layout.h1_step, layout.w1_step)
+            by_steps.setdefault(steps, []).append(evaluator)
+    for group in by_steps.values():
+        if len(group) < 2:
+            continue  # a lone config's lazy LUT costs the same
+        element_space = np.arange(group[0].layout.view.num_elements, dtype=np.int64)
+        line_id, col_id, _ = group[0].layout.locate(element_space)
+        for evaluator in group:
+            evaluator.prime_key_lut(line_id, col_id)
+    return evaluators
+
+
+def _results_from_evaluators(
+    layer: Layer,
+    dataflow: Dataflow,
+    configs: Sequence[LayoutEvalConfig],
+    evaluators: Sequence[BankConflictEvaluator],
+) -> list[LayoutEvalResult]:
+    return [
+        LayoutEvalResult(
+            layer_name=layer.name,
+            dataflow=dataflow,
+            num_banks=cfg.num_banks,
+            total_bandwidth=cfg.total_bandwidth_words,
+            cycles_evaluated=evaluator.cycles_evaluated,
+            layout_cycles=evaluator.total_layout_cycles,
+            bandwidth_cycles=evaluator.total_bandwidth_cycles,
+            slowdown=evaluator.slowdown,
+            evaluator=cfg.evaluator,
+        )
+        for cfg, evaluator in zip(configs, evaluators)
+    ]
+
+
+# ------------------------------------------------------------- worker pool
+
+#: Per-worker fold artifacts, installed by the pool initializer so the
+#: batch is shipped once per worker instead of once per configuration.
+_FANOUT_FOLDS: list[FoldDemand] = []
+
+
+def _fanout_init(folds: list[FoldDemand]) -> None:
+    global _FANOUT_FOLDS
+    _FANOUT_FOLDS = folds
+
+
+def _fanout_chunk(
+    args: tuple[Layer, Dataflow, list[LayoutEvalConfig], list[LayoutSpec]],
+) -> list[LayoutEvalResult]:
+    """Worker entry point: run one chunk of configurations over the folds."""
+    layer, dataflow, configs, layouts = args
+    evaluators = _make_evaluators(configs, layouts)
+    for fold in _FANOUT_FOLDS:
+        for evaluator in evaluators:
+            evaluator.add_fold_demand(fold)
+    return _results_from_evaluators(layer, dataflow, configs, evaluators)
+
+
+# ------------------------------------------------------------ entry points
+
+
+def evaluate_layout_slowdown_many(
+    layer: Layer,
+    dataflow: Dataflow | str,
+    array_rows: int,
+    array_cols: int,
+    configs: Sequence[LayoutEvalConfig],
+    max_folds: int | None = None,
+    workers: int = 1,
+) -> list[LayoutEvalResult]:
+    """Evaluate a whole grid of layout configurations in one trace pass.
+
+    Generates each fold's demand artifact once and broadcasts it to
+    every configuration's evaluator; results come back in ``configs``
+    order and are bit-identical to ``len(configs)`` independent
+    :func:`evaluate_layout_slowdown` calls (enforced by
+    ``tests/layout/test_fanout_equivalence.py``).
+
+    Args:
+        configs: the evaluator configurations to fan out over.
+        max_folds: cap on folds traced (None, the default, traces the
+            full layer).
+        workers: process count for the per-configuration evaluation;
+            ``1`` (the default) streams folds with O(one fold) memory,
+            more workers materialise the fold artifacts once and split
+            the configurations across a pool (identical results).
+    """
+    if isinstance(dataflow, str):
+        dataflow = Dataflow.parse(dataflow)
+    configs = list(configs)
+    if not configs:
+        return []
+    view = _view_for_layer(layer)
+    layouts = [cfg.resolve_layout(view) for cfg in configs]
+    stream = _fold_demand_stream(layer, dataflow, array_rows, array_cols, max_folds)
+
+    if workers > 1 and len(configs) > 1:
+        folds = list(stream)
+        processes = min(workers, len(configs))
+        chunks = [
+            (layer, dataflow, configs[lo::processes], layouts[lo::processes])
+            for lo in range(processes)
+        ]
+        with pool_context().Pool(
+            processes=processes, initializer=_fanout_init, initargs=(folds,)
+        ) as pool:
+            chunk_results = pool.map(_fanout_chunk, chunks, chunksize=1)
+        results: list[LayoutEvalResult | None] = [None] * len(configs)
+        for lo, chunk in enumerate(chunk_results):
+            results[lo :: len(chunk_results)] = chunk
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    evaluators = _make_evaluators(configs, layouts)
+    for fold in stream:
+        for evaluator in evaluators:
+            evaluator.add_fold_demand(fold)
+    return _results_from_evaluators(layer, dataflow, configs, evaluators)
 
 
 def evaluate_layout_slowdown(
@@ -79,51 +314,20 @@ def evaluate_layout_slowdown(
         evaluator: ``"vectorized"`` (default) or ``"reference"`` — both
             produce bit-identical results.
     """
-    if isinstance(dataflow, str):
-        dataflow = Dataflow.parse(dataflow)
-    if total_bandwidth_words % num_banks:
-        raise LayoutError(
-            f"total bandwidth {total_bandwidth_words} not divisible by "
-            f"{num_banks} banks"
-        )
-    view = _view_for_layer(layer)
-    if layout is None:
-        layout = LayoutSpec.default_for(
-            view,
-            num_banks=num_banks,
-            bandwidth_per_bank=total_bandwidth_words // num_banks,
-            ports_per_bank=ports_per_bank,
-        )
-    conflict = make_conflict_evaluator(
-        evaluator, layout, bandwidth_model_words=total_bandwidth_words
-    )
-    engine = TraceEngine(operand_matrices(layer), dataflow, array_rows, array_cols)
-
-    for index, fold in enumerate(engine.fold_traces()):
-        if max_folds is not None and index >= max_folds:
-            break
-        for matrix in (fold.row_port_demand, fold.col_port_demand):
-            top = int(matrix.max()) if matrix.size else -1
-            if top < IFMAP_BASE:
-                continue  # bubbles only — the reference skips these too
-            if top < FILTER_BASE:
-                # Pure ifmap stream: feed the trace through unmasked.
-                conflict.add_demand_matrix(matrix, base_offset=IFMAP_BASE)
-                continue
-            ifmap_only = np.where(
-                (matrix >= IFMAP_BASE) & (matrix < FILTER_BASE), matrix, -1
+    [result] = evaluate_layout_slowdown_many(
+        layer,
+        dataflow,
+        array_rows,
+        array_cols,
+        [
+            LayoutEvalConfig(
+                num_banks=num_banks,
+                total_bandwidth_words=total_bandwidth_words,
+                ports_per_bank=ports_per_bank,
+                layout=layout,
+                evaluator=evaluator,
             )
-            if (ifmap_only >= 0).any():
-                conflict.add_demand_matrix(ifmap_only, base_offset=IFMAP_BASE)
-
-    return LayoutEvalResult(
-        layer_name=layer.name,
-        dataflow=dataflow,
-        num_banks=num_banks,
-        total_bandwidth=total_bandwidth_words,
-        cycles_evaluated=conflict.cycles_evaluated,
-        layout_cycles=conflict.total_layout_cycles,
-        bandwidth_cycles=conflict.total_bandwidth_cycles,
-        slowdown=conflict.slowdown,
-        evaluator=evaluator,
+        ],
+        max_folds=max_folds,
     )
+    return result

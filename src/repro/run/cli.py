@@ -23,7 +23,7 @@ from pathlib import Path
 from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
 from repro.config.system import VALID_DRAM_ENGINES, VALID_LAYOUT_EVALUATORS
-from repro.core.report import write_sweep_report
+from repro.core.report import write_layout_sweep_report, write_sweep_report
 from repro.run.runner import run_simulation
 from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
 from repro.topology.models import available_models, get_model
@@ -238,6 +238,11 @@ def sweep_main(argv: list[str]) -> int:
     hit_line = f"cache:    {runner.cache.hits} hits / {runner.cache.misses} misses"
     print(hit_line)
     print(f"report:   {report}")
+    if any(result.layout_results for result in results):
+        layout_report = write_layout_sweep_report(
+            results, Path(args.output) / f"{args.name}_layout_report.csv"
+        )
+        print(f"layout:   {layout_report}")
     return 0
 
 

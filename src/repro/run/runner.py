@@ -119,6 +119,7 @@ def run_simulation(
     output_dir: str | Path | None = None,
     write_reports: bool = True,
     dense: bool = True,
+    layout_eval: bool = True,
 ) -> SimulationOutputs:
     """Run a full simulation; optionally write all reports to disk.
 
@@ -127,6 +128,12 @@ def run_simulation(
     only the feature simulations (sparsity).  Sparsity-only sweeps such
     as the paper's Figure 8 use this to avoid paying for a dense
     simulation whose results they never read.
+
+    ``layout_eval=False`` skips the per-layer layout study even when the
+    config enables it: the sweep runner uses this when it batches a
+    group of layout-only variants through the trace fan-out
+    (:func:`repro.layout.integrate.evaluate_layout_slowdown_many`)
+    instead of per-point calls.
     """
     if dense:
         run_result = Simulator(config).run(topology)
@@ -158,7 +165,7 @@ def run_simulation(
             for layer in topology
         ]
 
-    if config.layout.enabled and dense:
+    if config.layout.enabled and dense and layout_eval:
         # The Section VI layout study: cost every layer's ifmap demand
         # under the banked open-line model vs the flat bandwidth model,
         # through the configured evaluator seam (layout.evaluator).  The

@@ -37,7 +37,6 @@ import dataclasses
 import hashlib
 import itertools
 import json
-import multiprocessing
 import os
 import pickle
 import time
@@ -49,9 +48,11 @@ from repro.config.system import RunConfig, SystemConfig
 from repro.core.simulator import RunResult
 from repro.energy.accelergy import EnergyReport
 from repro.errors import ConfigError
+from repro.layout.integrate import LayoutEvalConfig, LayoutEvalResult
 from repro.run.runner import run_simulation
 from repro.sparsity.sparse_compute import SparseLayerResult
 from repro.topology.topology import Topology
+from repro.utils.pool import pool_context
 
 #: Config sections an axis may touch (the run section is metadata, not a knob).
 _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicore")
@@ -59,9 +60,9 @@ _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicor
 #: Simulator-semantics salt folded into every content key.  Bump this
 #: whenever output *shape or meaning* changes without a config-field
 #: change, so pre-existing disk caches re-simulate instead of serving
-#: stale rows.  2026-07: layout-evaluator seam + paper-scale fig12/13
-#: (the layout pipeline's outputs changed shape).
-_SEMANTICS_SALT = "v2-layout-vectorized-2026-07"
+#: stale rows.  2026-07 (fanout): sweep payloads now carry the per-layer
+#: layout study results, so pre-fanout caches lack a field.
+_SEMANTICS_SALT = "v3-layout-fanout-2026-07"
 
 
 @dataclass(frozen=True)
@@ -206,6 +207,7 @@ class _PointPayload:
     energy_report: EnergyReport | None
     sparse_results: list[SparseLayerResult]
     wall_seconds: float
+    layout_results: list[LayoutEvalResult] = field(default_factory=list)
 
 
 def _slim_run_result(run_result: RunResult) -> RunResult:
@@ -241,7 +243,74 @@ def _simulate_point(args: tuple[SystemConfig, Topology, bool]) -> _PointPayload:
             for result in outputs.sparse_results
         ],
         wall_seconds=time.perf_counter() - start,
+        layout_results=outputs.layout_results,
     )
+
+
+def _simulate_group(
+    args: tuple[list[SystemConfig], Topology, bool], workers: int = 1
+) -> list[_PointPayload]:
+    """Worker entry point: simulate a layout-only group in one pass.
+
+    The configs differ only in ``layout.*`` fields, so the dense run,
+    the sparsity pass and the energy model are computed once, and the
+    per-layer layout study fans every config through
+    :func:`~repro.layout.integrate.evaluate_layout_slowdown_many` on a
+    single trace stream.  Payloads are bit-identical to per-point
+    :func:`_simulate_point` calls (the fan-out equivalence fuzz covers
+    the layout half; the dense half never reads ``config.layout``).
+
+    ``workers`` parallelises the fan-out's per-config cascades — used
+    when this group is the sweep's *only* work unit and would otherwise
+    leave the runner's pool idle; groups dispatched across a pool keep
+    the default (one process each, no nesting).
+    """
+    from repro.layout.integrate import evaluate_layout_slowdown_many
+
+    configs, topology, dense = args
+    start = time.perf_counter()
+    outputs = run_simulation(
+        configs[0], topology, write_reports=False, dense=dense, layout_eval=False
+    )
+    run_result = _slim_run_result(outputs.run_result)
+    sparse_results = [
+        dataclasses.replace(result, fold_specs=[])
+        for result in outputs.sparse_results
+    ]
+    per_point: list[list[LayoutEvalResult]] = [[] for _ in configs]
+    if dense and configs[0].layout.enabled:
+        arch = configs[0].arch
+        grid = [
+            LayoutEvalConfig(
+                num_banks=config.layout.num_banks,
+                total_bandwidth_words=config.layout.total_bandwidth_words,
+                ports_per_bank=config.layout.ports_per_bank,
+                evaluator=config.layout.evaluator,
+            )
+            for config in configs
+        ]
+        for layer in topology:
+            results = evaluate_layout_slowdown_many(
+                layer,
+                arch.dataflow,
+                arch.array_rows,
+                arch.array_cols,
+                grid,
+                workers=workers,
+            )
+            for index, result in enumerate(results):
+                per_point[index].append(result)
+    wall_seconds = (time.perf_counter() - start) / len(configs)
+    return [
+        _PointPayload(
+            run_result=run_result,
+            energy_report=outputs.energy_report,
+            sparse_results=sparse_results,
+            wall_seconds=wall_seconds,
+            layout_results=layout_results,
+        )
+        for layout_results in per_point
+    ]
 
 
 # ------------------------------------------------------------------ cache
@@ -253,6 +322,11 @@ def _canonical_layer(layer: object) -> dict:
     return data
 
 
+def _hashed(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
 def content_key(
     config: SystemConfig, topology: Topology, simulate_dense: bool = True
 ) -> str:
@@ -261,17 +335,40 @@ def content_key(
     The ``run`` section (name / output dir) is metadata and deliberately
     excluded, so renamed runs of the same point still hit the cache.
     """
-    payload = {
-        "salt": _SEMANTICS_SALT,
-        "config": {
-            section: dataclasses.asdict(getattr(config, section))
-            for section in _SWEEPABLE_SECTIONS
-        },
-        "topology": [_canonical_layer(layer) for layer in topology],
-        "simulate_dense": simulate_dense,
-    }
-    blob = json.dumps(payload, sort_keys=True, default=str).encode()
-    return hashlib.sha256(blob).hexdigest()
+    return _hashed(
+        {
+            "salt": _SEMANTICS_SALT,
+            "config": {
+                section: dataclasses.asdict(getattr(config, section))
+                for section in _SWEEPABLE_SECTIONS
+            },
+            "topology": [_canonical_layer(layer) for layer in topology],
+            "simulate_dense": simulate_dense,
+        }
+    )
+
+
+def _layout_group_key(
+    config: SystemConfig, topology: Topology, simulate_dense: bool
+) -> str:
+    """Content hash with the layout section blanked out.
+
+    Points sharing this key differ only in ``layout.*`` knobs, so they
+    share one dense/sparsity/energy simulation and can fan their layout
+    studies over a single trace stream.
+    """
+    return _hashed(
+        {
+            "salt": _SEMANTICS_SALT,
+            "config": {
+                section: dataclasses.asdict(getattr(config, section))
+                for section in _SWEEPABLE_SECTIONS
+                if section != "layout"
+            },
+            "topology": [_canonical_layer(layer) for layer in topology],
+            "simulate_dense": simulate_dense,
+        }
+    )
 
 
 class ResultCache:
@@ -344,6 +441,7 @@ class SweepResult:
     run_result: RunResult
     energy_report: EnergyReport | None = None
     sparse_results: list[SparseLayerResult] = field(default_factory=list)
+    layout_results: list[LayoutEvalResult] = field(default_factory=list)
     from_cache: bool = False
     wall_seconds: float = 0.0
 
@@ -383,9 +481,65 @@ class SweepResult:
         return sum(r.sparse_compute_cycles for r in self.sparse_results)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+#: One pool work unit: point positions it covers + the worker arguments.
+_Unit = tuple[list[int], tuple[str, tuple]]
+
+
+def _layout_grouped_units(
+    points: list[SweepPoint], simulate_dense: bool
+) -> list[_Unit]:
+    """Partition points into fan-out groups and singleton units.
+
+    Points whose configs differ only in ``layout.*`` axes (and have the
+    layout study enabled) form one unit dispatched through
+    :func:`_simulate_group`; everything else stays a per-point unit.
+    Unit order follows first appearance, so serial and grouped sweeps
+    keep deterministic, index-ordered results.
+    """
+    groups: dict[str, list[int]] = {}
+    order: list[str] = []
+    for position, point in enumerate(points):
+        if simulate_dense and point.config.layout.enabled:
+            key = _layout_group_key(point.config, point.topology, simulate_dense)
+        else:
+            key = f"solo-{position}"
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(position)
+    units: list[_Unit] = []
+    for key in order:
+        members = groups[key]
+        first = points[members[0]]
+        if len(members) == 1:
+            units.append(
+                (members, ("point", (first.config, first.topology, simulate_dense)))
+            )
+        else:
+            units.append(
+                (
+                    members,
+                    (
+                        "group",
+                        (
+                            [points[m].config for m in members],
+                            first.topology,
+                            simulate_dense,
+                        ),
+                    ),
+                )
+            )
+    return units
+
+
+def _simulate_unit(
+    unit_args: tuple[str, tuple], workers: int = 1
+) -> list[_PointPayload]:
+    """Worker entry point: run one unit (a point or a layout group)."""
+    kind, args = unit_args
+    if kind == "point":
+        return [_simulate_point(args)]
+    return _simulate_group(args, workers=workers)
 
 
 class SweepRunner:
@@ -461,6 +615,7 @@ class SweepRunner:
                     ),
                     energy_report=payload.energy_report,
                     sparse_results=payload.sparse_results,
+                    layout_results=payload.layout_results,
                     from_cache=from_cache,
                     wall_seconds=0.0 if from_cache else payload.wall_seconds,
                 )
@@ -478,12 +633,25 @@ class SweepRunner:
     ) -> list[_PointPayload]:
         if not points:
             return []
-        args = [(point.config, point.topology, simulate_dense) for point in points]
-        if self.workers == 1 or len(points) == 1:
-            return [_simulate_point(arg) for arg in args]
-        processes = min(self.workers, len(points))
-        with _pool_context().Pool(processes=processes) as pool:
-            return pool.map(_simulate_point, args, chunksize=1)
+        units = _layout_grouped_units(points, simulate_dense)
+        if self.workers == 1 or len(units) == 1:
+            # A single fan-out group would leave the pool idle — hand the
+            # runner's workers to the group's per-config evaluation.
+            unit_payloads = [
+                _simulate_unit(unit[1], workers=self.workers) for unit in units
+            ]
+        else:
+            processes = min(self.workers, len(units))
+            with pool_context().Pool(processes=processes) as pool:
+                unit_payloads = pool.map(
+                    _simulate_unit, [unit[1] for unit in units], chunksize=1
+                )
+        payloads: list[_PointPayload | None] = [None] * len(points)
+        for (members, _), computed in zip(units, unit_payloads):
+            for position, payload in zip(members, computed):
+                payloads[position] = payload
+        assert all(payload is not None for payload in payloads)
+        return payloads  # type: ignore[return-value]
 
 
 def single_point(

@@ -1,0 +1,17 @@
+"""Shared multiprocessing helpers."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The preferred start-method context for worker pools.
+
+    ``fork`` where available (cheap, inherits read-only state such as
+    fan-out fold artifacts zero-copy), ``spawn`` otherwise.  Both the
+    sweep runner and the layout fan-out use this one helper so a future
+    start-method tweak applies to every pool.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")

@@ -1,0 +1,247 @@
+"""Randomized fan-out equivalence: one trace pass == N independent calls.
+
+``evaluate_layout_slowdown_many`` must be *bit-identical* to running
+``evaluate_layout_slowdown`` once per configuration — for mixed grids
+(bank counts, bandwidths, ports, explicit layouts, row-buffer depths,
+both evaluators), across multiple folds (cross-fold LRU state rides on
+the shared artifacts), and regardless of how configurations share (or
+don't share) inter-line steps.  The artifact layer itself
+(``FoldDemand`` / ``add_fold_demand``) is fuzzed against
+``add_demand_matrix`` for both evaluator implementations.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.dataflow import Dataflow
+from repro.layout.conflict import build_fold_demand, make_conflict_evaluator
+from repro.layout.integrate import (
+    LayoutEvalConfig,
+    evaluate_layout_slowdown,
+    evaluate_layout_slowdown_many,
+)
+from repro.layout.spec import LayoutSpec, TensorView
+from repro.topology.layer import ConvLayer, GemmLayer
+
+
+def _conv(rng: random.Random) -> ConvLayer:
+    return ConvLayer(
+        name="c",
+        ifmap_h=rng.randint(6, 14),
+        ifmap_w=rng.randint(6, 14),
+        filter_h=3,
+        filter_w=3,
+        channels=rng.choice((4, 8, 16)),
+        num_filters=rng.choice((8, 16)),
+    )
+
+
+def _gemm(rng: random.Random) -> GemmLayer:
+    return GemmLayer(
+        "g", m=rng.randint(16, 48), n=rng.randint(16, 64), k=rng.randint(8, 40)
+    )
+
+
+def _random_grid(rng: random.Random, view: TensorView) -> list[LayoutEvalConfig]:
+    configs: list[LayoutEvalConfig] = []
+    for _ in range(rng.randint(2, 7)):
+        num_banks = rng.choice((1, 2, 4, 8))
+        bandwidth = num_banks * rng.choice((1, 2, 4, 8, 16))
+        layout = None
+        if rng.random() < 0.25:
+            capacity = bandwidth
+            c1 = rng.randint(1, max(1, min(view.c_dim, capacity)))
+            h1 = rng.randint(1, max(1, capacity // c1))
+            w1 = rng.randint(1, max(1, capacity // (c1 * h1)))
+            layout = LayoutSpec(
+                view=view,
+                c1_step=c1,
+                h1_step=h1,
+                w1_step=w1,
+                num_banks=num_banks,
+                bandwidth_per_bank=bandwidth // num_banks,
+            )
+        configs.append(
+            LayoutEvalConfig(
+                num_banks=num_banks,
+                total_bandwidth_words=bandwidth,
+                ports_per_bank=rng.choice((1, 1, 2)),
+                layout=layout,
+                evaluator=rng.choice(("vectorized", "vectorized", "reference")),
+                row_buffers_per_bank=rng.choice((1, 2, 4)),
+            )
+        )
+    return configs
+
+
+def _view_for(layer) -> TensorView:
+    if isinstance(layer, ConvLayer):
+        return TensorView(layer.channels, layer.ifmap_h, layer.ifmap_w)
+    return TensorView.for_matrix(layer.k, layer.n)
+
+
+def test_fanout_is_bit_identical_to_independent_calls():
+    """Mixed config grids over full multi-fold traces, both evaluators."""
+    for trial in range(12):
+        rng = random.Random(31_000 + 7 * trial)
+        layer = _conv(rng) if rng.random() < 0.6 else _gemm(rng)
+        dataflow = rng.choice(("ws", "is", "os"))
+        array = rng.choice((4, 8))
+        view = _view_for(layer)
+        configs = _random_grid(rng, view)
+        max_folds = rng.choice((None, None, 2, 5))
+
+        many = evaluate_layout_slowdown_many(
+            layer, dataflow, array, array, configs, max_folds=max_folds
+        )
+        independent = [
+            evaluate_layout_slowdown(
+                layer,
+                dataflow,
+                array,
+                array,
+                cfg.num_banks,
+                cfg.total_bandwidth_words,
+                ports_per_bank=cfg.ports_per_bank,
+                layout=cfg.layout,
+                max_folds=max_folds,
+                evaluator=cfg.evaluator,
+            )
+            for cfg in configs
+        ]
+        # row_buffers_per_bank is not exposed by the single-call API;
+        # compare those configs against a 4-deep independent grid run.
+        for m, i, cfg in zip(many, independent, configs):
+            if cfg.row_buffers_per_bank == 4:
+                assert m == i, (trial, cfg)
+            else:
+                assert m.cycles_evaluated == i.cycles_evaluated, (trial, cfg)
+                assert m.bandwidth_cycles == i.bandwidth_cycles, (trial, cfg)
+
+        # Non-default row-buffer depths: a 1-config fan-out is the
+        # independent call for that depth; grids must agree with it.
+        deep = [cfg for cfg in configs if cfg.row_buffers_per_bank != 4]
+        if deep:
+            singles = [
+                evaluate_layout_slowdown_many(
+                    layer, dataflow, array, array, [cfg], max_folds=max_folds
+                )[0]
+                for cfg in deep
+            ]
+            grid = [m for m, cfg in zip(many, configs) if cfg.row_buffers_per_bank != 4]
+            assert grid == singles, trial
+
+
+def test_fanout_parallel_matches_serial():
+    rng = random.Random(777)
+    layer = _conv(rng)
+    view = _view_for(layer)
+    configs = _random_grid(rng, view)
+    serial = evaluate_layout_slowdown_many(layer, "ws", 8, 8, configs)
+    parallel = evaluate_layout_slowdown_many(layer, "ws", 8, 8, configs, workers=3)
+    assert serial == parallel
+
+
+def test_fanout_preserves_config_order_and_metadata():
+    rng = random.Random(5)
+    layer = _gemm(rng)
+    configs = [
+        LayoutEvalConfig(num_banks=1, total_bandwidth_words=8),
+        LayoutEvalConfig(num_banks=8, total_bandwidth_words=64, evaluator="reference"),
+        LayoutEvalConfig(num_banks=2, total_bandwidth_words=16),
+    ]
+    results = evaluate_layout_slowdown_many(layer, Dataflow.WEIGHT_STATIONARY, 4, 4, configs)
+    assert [r.num_banks for r in results] == [1, 8, 2]
+    assert [r.total_bandwidth for r in results] == [8, 64, 16]
+    assert [r.evaluator for r in results] == ["vectorized", "reference", "vectorized"]
+    assert results[0].dataflow is Dataflow.WEIGHT_STATIONARY
+
+
+def test_fanout_empty_grid():
+    assert evaluate_layout_slowdown_many(_gemm(random.Random(1)), "ws", 4, 4, []) == []
+
+
+def test_fold_demand_feed_matches_matrix_feed():
+    """add_fold_demand == add_demand_matrix, both evaluators, chunked."""
+    for trial in range(15):
+        rng = random.Random(52_000 + trial)
+        view = TensorView(rng.randint(1, 16), rng.randint(1, 10), rng.randint(1, 10))
+        num_banks = rng.choice((1, 2, 4))
+        bandwidth = rng.randint(1, 6)
+        layout = LayoutSpec.default_for(
+            view, num_banks=num_banks, bandwidth_per_bank=bandwidth
+        )
+        for name in ("reference", "vectorized"):
+            direct = make_conflict_evaluator(name, layout, 16, row_buffers_per_bank=2)
+            via_artifact = make_conflict_evaluator(
+                name, layout, 16, row_buffers_per_bank=2
+            )
+            for _ in range(rng.randint(1, 4)):
+                rows, ports = rng.randint(1, 30), rng.randint(1, 6)
+                base = rng.choice((0, 1000))
+                demand = np.full((rows, ports), -1, dtype=np.int64)
+                mask = np.random.default_rng(trial).random((rows, ports)) < 0.7
+                demand[mask] = (
+                    np.random.default_rng(trial + 1).integers(
+                        0, 2 * view.num_elements, mask.sum()
+                    )
+                    + base
+                )
+                direct_costs = direct.add_demand_matrix(
+                    demand, base_offset=base, return_costs=True
+                )
+                artifact_costs = via_artifact.add_fold_demand(
+                    build_fold_demand(demand, base_offset=base), return_costs=True
+                )
+                assert direct_costs == artifact_costs, (trial, name)
+            assert direct.total_layout_cycles == via_artifact.total_layout_cycles
+            assert direct.total_bandwidth_cycles == via_artifact.total_bandwidth_cycles
+            assert direct.total_requests == via_artifact.total_requests
+            assert direct.cycles_evaluated == via_artifact.cycles_evaluated
+
+
+def test_fanout_validates_bandwidth_divisibility():
+    from repro.errors import LayoutError
+
+    layer = _gemm(random.Random(2))
+    with pytest.raises(LayoutError):
+        evaluate_layout_slowdown_many(
+            layer,
+            "ws",
+            4,
+            4,
+            [LayoutEvalConfig(num_banks=3, total_bandwidth_words=64)],
+        )
+
+
+def test_mixed_view_layouts_never_share_decodes():
+    """Explicit layouts with different views must not share a key LUT.
+
+    Regression: the shared-decode grouping once keyed only on inter-line
+    steps, silently priming one view's decode into another's evaluator.
+    """
+    layer = GemmLayer("g", m=24, n=16, k=8)
+    view_a = TensorView.for_matrix(layer.k, layer.n)
+    view_b = TensorView(2, 8, 8)  # same num_elements, different shape
+    assert view_a.num_elements == view_b.num_elements
+    configs = [
+        LayoutEvalConfig(
+            num_banks=2,
+            total_bandwidth_words=8,
+            layout=LayoutSpec(
+                view=view, c1_step=2, h1_step=2, w1_step=1,
+                num_banks=2, bandwidth_per_bank=4,
+            ),
+        )
+        for view in (view_a, view_b)
+    ]
+    many = evaluate_layout_slowdown_many(layer, "ws", 4, 4, configs)
+    independent = [
+        evaluate_layout_slowdown(
+            layer, "ws", 4, 4, 2, 8, layout=cfg.layout
+        )
+        for cfg in configs
+    ]
+    assert many == independent

@@ -322,3 +322,137 @@ class TestSweepCli:
                     str(tmp_path),
                 ]
             )
+
+
+class TestLayoutFanoutGrouping:
+    """Sweep points differing only in layout.* ride one trace pass."""
+
+    def _layout_spec(self, **kwargs) -> SweepSpec:
+        import dataclasses
+
+        from repro.config.system import LayoutConfig
+
+        base = _base().replace(
+            layout=LayoutConfig(enabled=True, num_banks=1, bandwidth_per_bank_words=16)
+        )
+        defaults = dict(
+            base=base,
+            axes=[Axis("layout.num_banks", (1, 2, 4))],
+            topologies=[toy_conv()],
+            name="layout_grid",
+        )
+        defaults.update(kwargs)
+        return SweepSpec(**defaults)
+
+    def test_grouped_results_match_per_point_simulation(self):
+        from repro.run.sweep import _simulate_point
+
+        spec = self._layout_spec()
+        results = SweepRunner(workers=1).run(spec)
+        assert len(results) == 3
+        for result in results:
+            solo = _simulate_point((result.config, spec.topologies[0], True))
+            assert result.layout_results == solo.layout_results
+            assert result.total_cycles == solo.run_result.total_cycles
+
+    def test_grouping_unit_structure(self):
+        from repro.run.sweep import _layout_grouped_units
+
+        spec = self._layout_spec()
+        units = _layout_grouped_units(spec.expand(), True)
+        assert len(units) == 1  # one fan-out group of three points
+        members, (kind, args) = units[0]
+        assert kind == "group"
+        assert members == [0, 1, 2]
+        assert [config.layout.num_banks for config in args[0]] == [1, 2, 4]
+
+    def test_non_layout_axes_stay_singletons(self):
+        from repro.run.sweep import _layout_grouped_units
+
+        spec = self._layout_spec(
+            axes=[Axis("layout.num_banks", (1, 2)), Axis("dram.channels", (1, 2))]
+        )
+        units = _layout_grouped_units(spec.expand(), True)
+        # Two dram.channels values -> two groups of two layout points.
+        assert sorted(len(members) for members, _ in units) == [2, 2]
+
+    def test_layout_disabled_points_not_grouped(self):
+        from repro.run.sweep import _layout_grouped_units
+
+        spec = _spec(axes=[Axis("layout.num_banks", (1, 2))])
+        units = _layout_grouped_units(spec.expand(), True)
+        assert all(len(members) == 1 for members, _ in units)
+
+    def test_parallel_grouped_sweep_identical_to_serial(self, tmp_path):
+        spec = self._layout_spec()
+        serial = SweepRunner(workers=1).run(spec)
+        parallel = SweepRunner(workers=2).run(spec)
+        assert [r.layout_results for r in serial] == [
+            r.layout_results for r in parallel
+        ]
+        serial_csv = tmp_path / "serial.csv"
+        parallel_csv = tmp_path / "parallel.csv"
+        write_sweep_report(serial, serial_csv)
+        write_sweep_report(parallel, parallel_csv)
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_grouped_points_cache_individually(self):
+        spec = self._layout_spec()
+        cache = ResultCache()
+        SweepRunner(workers=1, cache=cache).run(spec)
+        assert cache.misses == 3
+        again = SweepRunner(workers=1, cache=cache).run(spec)
+        assert cache.hits == 3
+        assert all(result.from_cache for result in again)
+
+    def test_layout_sweep_report_written(self, tmp_path):
+        from repro.core.report import write_layout_sweep_report
+
+        spec = self._layout_spec()
+        results = SweepRunner(workers=1).run(spec)
+        path = write_layout_sweep_report(results, tmp_path / "layout.csv")
+        lines = path.read_text().strip().splitlines()
+        # header + 3 points x layers rows
+        layers = len(results[0].layout_results)
+        assert len(lines) == 1 + 3 * layers
+        assert lines[0].startswith("PointID,LayerID,LayerName")
+
+    def test_layout_report_refuses_empty(self, tmp_path):
+        from repro.core.report import write_layout_sweep_report
+
+        results = SweepRunner(workers=1).run(_spec())
+        with pytest.raises(ReportError):
+            write_layout_sweep_report(results, tmp_path / "layout.csv")
+
+
+class TestSweepCliLayoutReport:
+    def test_layout_axis_sweep_writes_layout_report(self, tmp_path, capsys):
+        from repro.config.parser import save_config
+        from repro.config.system import LayoutConfig
+
+        config = _base().replace(
+            layout=LayoutConfig(enabled=True, num_banks=1, bandwidth_per_bank_words=16)
+        )
+        cfg_path = tmp_path / "layout_on.cfg"
+        save_config(config, cfg_path)
+        code = main(
+            [
+                "sweep",
+                "-c",
+                str(cfg_path),
+                "--model",
+                "toy_conv",
+                "--set",
+                "layout.num_banks=1,2",
+                "-p",
+                str(tmp_path),
+                "--name",
+                "cli_layout",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        report = tmp_path / "cli_layout_layout_report.csv"
+        assert report.exists()
+        assert str(report) in out
+        assert report.read_text().startswith("PointID,LayerID,LayerName,Dataflow")
