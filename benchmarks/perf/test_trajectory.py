@@ -5,7 +5,13 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from benchmarks.perf.trajectory import PERF_DIR, build_trajectory, write_trajectory
+from benchmarks.perf.trajectory import (
+    PERF_DIR,
+    build_markdown,
+    build_trajectory,
+    write_markdown,
+    write_trajectory,
+)
 
 
 def test_every_committed_bench_is_aggregated():
@@ -18,7 +24,7 @@ def test_every_committed_bench_is_aggregated():
 
 def test_known_seams_report_speedups():
     benches = build_trajectory()["benches"]
-    for seam in ("memory_datapath", "layout_conflict", "layout_fanout"):
+    for seam in ("memory_datapath", "layout_conflict", "layout_fanout", "dram_fanout"):
         assert seam in benches, f"missing perf baseline for {seam}"
         assert benches[seam]["speedups"], f"{seam} baseline carries no speedups"
 
@@ -27,6 +33,30 @@ def test_write_is_deterministic(tmp_path):
     first = write_trajectory(out_path=tmp_path / "a.json")
     second = write_trajectory(out_path=tmp_path / "b.json")
     assert first.read_bytes() == second.read_bytes()
+
+
+def test_markdown_is_deterministic_and_covers_benches(tmp_path):
+    first = write_markdown(out_path=tmp_path / "a.md")
+    second = write_markdown(out_path=tmp_path / "b.md")
+    assert first.read_bytes() == second.read_bytes()
+    text = first.read_text()
+    for name in build_trajectory()["benches"]:
+        assert f"| {name} |" in text
+
+
+def test_committed_markdown_covers_baselines():
+    """TRAJECTORY.md is committed and names every bench seam.
+
+    Values drift run to run (like TRAJECTORY.json), so only the seam
+    coverage is pinned.
+    """
+    committed_path = PERF_DIR / "TRAJECTORY.md"
+    assert committed_path.exists(), (
+        "run benchmarks/perf/trajectory.py --markdown and commit"
+    )
+    text = committed_path.read_text()
+    for name in build_trajectory()["benches"]:
+        assert f"| {name} |" in text, name
 
 
 def test_committed_trajectory_covers_baselines():

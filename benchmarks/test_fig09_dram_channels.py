@@ -7,6 +7,12 @@ sweeping 1..8 channels.  Reproduced claims:
   with channel count before saturating,
 * late small layers saturate at ~2 channels,
 * absolute throughputs reach the >2000 MB/s regime the paper reports.
+
+The ``dram.channels`` axis is a groupable axis class: the sweep runner
+collapses each layer's four channel points into one simulation unit —
+one memoized compute plan, four stall resolutions through the DRAM
+fan-out (``benchmarks/perf/test_perf_dram_fanout.py`` gates the
+speedup).  The CSV is byte-identical to per-point simulation.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ Reproduced claims:
 * stall fraction and total cycles drop as the queue grows,
 * the 32 -> 128 step brings a large total-cycle improvement (the paper's
   average is 3.76x) with a further improvement from 128 -> 512.
+
+The queue axis touches only ``dram.*`` fields, so each workload's three
+points ride one grouped simulation unit (shared compute plan + shared
+decoded line streams, per-queue-size stall resolution) — the DRAM
+fan-out seam of PR 5.  The CSV is byte-identical to per-point runs.
 """
 
 from __future__ import annotations

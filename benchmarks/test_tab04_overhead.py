@@ -22,6 +22,7 @@ from repro.config.system import (
     EnergyConfig,
     SystemConfig,
 )
+from repro.core.simulator import clear_compute_plan_cache
 from repro.layout.integrate import evaluate_layout_slowdown
 from repro.multicore.multicore_sim import MultiCoreSimulator
 from repro.run.sweep import single_point
@@ -35,6 +36,10 @@ ARRAY = 32
 
 
 def _timed(fn) -> float:
+    # Each feature is timed from a cold plan cache: the baseline and the
+    # feature runs share architectures, and serving one a memoized fold
+    # schedule the other had to build would skew the overhead ratio.
+    clear_compute_plan_cache()
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
@@ -47,7 +52,8 @@ def _arch(dataflow="ws"):
 def _sweep_seconds(config: SystemConfig, topo) -> float:
     # Features built on the end-to-end simulator run as 1-point sweeps;
     # every run is timed by the same in-worker clock, so ratios against
-    # the baseline stay apples-to-apples.
+    # the baseline stay apples-to-apples (cold plan cache, see _timed).
+    clear_compute_plan_cache()
     return single_point(config, topo).wall_seconds
 
 

@@ -8,6 +8,10 @@ Reproduced claims (paper headline):
 * the 32x32 array is the most energy-frugal (2.86x in the paper),
 * EdP improves sharply from 32x32 and flattens between 64x64 and
   128x128 (the paper's 64-vs-128 margin is 0.8%).
+
+The array axis is ``arch.*`` (not a groupable class), so every point is
+its own simulation unit on the grouped-unit compute path; repeated
+layers within each workload still share memoized compute plans.
 """
 
 from __future__ import annotations

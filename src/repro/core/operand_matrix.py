@@ -30,12 +30,22 @@ OFMAP_BASE = 20_000_000
 
 @dataclass(frozen=True)
 class OperandMatrices:
-    """The three address matrices of one layer's GEMM."""
+    """The three address matrices of one layer's GEMM.
+
+    ``ifmap_unique`` / ``filter_unique`` carry the closed-form distinct
+    address counts computed by the builders (conv window coverage, GEMM
+    matrix sizes); the ``unique_*_words`` properties serve them without
+    scanning the matrices, falling back to the ``np.unique`` reference
+    scan for hand-built instances.  The closed forms are fuzzed against
+    the reference in ``tests/core/test_operand_matrix.py``.
+    """
 
     shape: GemmShape
     ifmap: np.ndarray  # (K, N) int64
     filter: np.ndarray  # (M, K) int64
     ofmap: np.ndarray  # (M, N) int64
+    ifmap_unique: int | None = None
+    filter_unique: int | None = None
 
     def __post_init__(self) -> None:
         expect = {
@@ -50,13 +60,38 @@ class OperandMatrices:
 
     @property
     def unique_ifmap_words(self) -> int:
-        """Distinct ifmap addresses (== raw ifmap footprint for convs)."""
-        return int(np.unique(self.ifmap).size)
+        """Distinct ifmap addresses (== accessed ifmap footprint)."""
+        if self.ifmap_unique is not None:
+            return self.ifmap_unique
+        return self.unique_ifmap_words_reference()
 
     @property
     def unique_filter_words(self) -> int:
         """Distinct filter addresses."""
+        if self.filter_unique is not None:
+            return self.filter_unique
+        return self.unique_filter_words_reference()
+
+    def unique_ifmap_words_reference(self) -> int:
+        """The ``np.unique`` scan the closed form is validated against."""
+        return int(np.unique(self.ifmap).size)
+
+    def unique_filter_words_reference(self) -> int:
+        """The ``np.unique`` scan the closed form is validated against."""
         return int(np.unique(self.filter).size)
+
+
+def _covered_positions(outputs: int, stride: int, extent: int) -> int:
+    """Distinct source positions touched along one sliding-window axis.
+
+    ``outputs`` windows of length ``extent`` placed every ``stride``:
+    overlapping windows (``stride < extent``) tile one contiguous span,
+    disjoint windows each contribute their full extent (strided
+    convolutions skip the gap columns/rows entirely).
+    """
+    if stride >= extent:
+        return outputs * extent
+    return (outputs - 1) * stride + extent
 
 
 def conv_operand_matrices(layer: ConvLayer) -> OperandMatrices:
@@ -87,7 +122,22 @@ def conv_operand_matrices(layer: ConvLayer) -> OperandMatrices:
     m_idx = np.arange(shape.m)
     filt = (FILTER_BASE + m_idx[:, None] * shape.k + k_idx[None, :]).astype(np.int64)
     ofmap = (OFMAP_BASE + m_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
-    return OperandMatrices(shape=shape, ifmap=ifmap, filter=filt, ofmap=ofmap)
+    # Closed-form footprints: (src_h, src_w, c) -> address is injective,
+    # so distinct addresses = covered rows x covered columns x channels;
+    # filter addresses (m * K + k) are all distinct by construction.
+    ifmap_unique = (
+        _covered_positions(oh, layer.stride_h, fh)
+        * _covered_positions(ow, layer.stride_w, fw)
+        * cin
+    )
+    return OperandMatrices(
+        shape=shape,
+        ifmap=ifmap,
+        filter=filt,
+        ofmap=ofmap,
+        ifmap_unique=ifmap_unique,
+        filter_unique=shape.m * shape.k,
+    )
 
 
 def gemm_operand_matrices(layer: GemmLayer) -> OperandMatrices:
@@ -99,7 +149,15 @@ def gemm_operand_matrices(layer: GemmLayer) -> OperandMatrices:
     ifmap = (IFMAP_BASE + k_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
     filt = (FILTER_BASE + m_idx[:, None] * shape.k + k_idx[None, :]).astype(np.int64)
     ofmap = (OFMAP_BASE + m_idx[:, None] * shape.n + n_idx[None, :]).astype(np.int64)
-    return OperandMatrices(shape=shape, ifmap=ifmap, filter=filt, ofmap=ofmap)
+    # Dense row-major addresses: both operand matrices are injective.
+    return OperandMatrices(
+        shape=shape,
+        ifmap=ifmap,
+        filter=filt,
+        ofmap=ofmap,
+        ifmap_unique=shape.k * shape.n,
+        filter_unique=shape.m * shape.k,
+    )
 
 
 def operand_matrices(layer: Layer) -> OperandMatrices:

@@ -8,6 +8,21 @@ the configuration:
   read/write request queues; stalls appear whenever a fold's data is not
   resident in the double buffer in time.
 
+The run is split at an explicit seam (see DESIGN.md "The DRAM
+fan-out"):
+
+* the **compute plan** (:class:`ComputePlan`, built by
+  :meth:`Simulator.plan`) — per-layer fold schedules plus closed-form
+  stats, a pure function of (topology, array, dataflow, SRAM sizes)
+  that no ``dram.*`` knob can affect.  Plans are memoized per process
+  (:func:`layer_compute`), so repeated layers and repeated sweep points
+  never rebuild identical schedules;
+* the **stall resolution** (:func:`resolve_plan`) — one walk of the
+  plan's fold schedules against one concrete memory backend.  This is
+  the only part that differs across a ``dram.*`` grid, which is what
+  :func:`repro.dram.fanout.simulate_many_dram` exploits to fan a single
+  plan across many backends.
+
 Layout slowdown and energy are layered on top by their feature packages
 (:mod:`repro.layout`, :mod:`repro.energy`) and the high-level driver in
 :mod:`repro.run.runner`.
@@ -16,10 +31,12 @@ Layout slowdown and energy are layered on top by their feature packages
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 
-from repro.config.system import SystemConfig
+from repro.config.system import ArchitectureConfig, SystemConfig
 from repro.core.compute_sim import ComputeSimulator, LayerComputeResult
+from repro.core.dataflow import Dataflow
 from repro.core.report import (
     write_bandwidth_report,
     write_compute_report,
@@ -33,6 +50,7 @@ from repro.memory.double_buffer import (
     MemoryBackend,
     MemoryTimeline,
 )
+from repro.topology.layer import Layer
 from repro.topology.topology import Topology
 
 
@@ -121,6 +139,164 @@ class RunResult:
         ]
 
 
+@dataclass(frozen=True)
+class ComputePlan:
+    """DRAM-independent compute schedules for one topology.
+
+    The plan is the fan-out artifact of the memory system (the fourth
+    engine-seam instance, after ``FoldDemand`` for layouts): per-layer
+    :class:`LayerComputeResult` records — fold schedules, fetch plans
+    and closed-form stats — built once and resolvable against any
+    number of memory backends via :func:`resolve_plan` /
+    :func:`repro.dram.fanout.simulate_many_dram`.
+
+    ``signature`` pins the compute-relevant architecture knobs (array
+    shape, dataflow, SRAM working sizes); a config whose signature
+    differs would produce a different fold schedule and must not reuse
+    this plan.
+    """
+
+    topology_name: str
+    signature: tuple
+    computes: tuple[LayerComputeResult, ...]
+
+    @property
+    def num_layers(self) -> int:
+        """Layers in the planned topology."""
+        return len(self.computes)
+
+    @property
+    def total_folds(self) -> int:
+        """Fold schedules across all layers."""
+        return sum(len(compute.fold_specs) for compute in self.computes)
+
+
+def plan_signature(arch: ArchitectureConfig) -> tuple:
+    """The compute-schedule identity of an architecture config.
+
+    Two configs with equal signatures produce bit-identical
+    :class:`ComputePlan` schedules for any topology — ``dram.*`` (and
+    every other non-arch section) never enters.
+    """
+    return (
+        arch.array_rows,
+        arch.array_cols,
+        Dataflow.parse(arch.dataflow),
+        arch.ifmap_sram_words(),
+        arch.filter_sram_words(),
+        arch.ofmap_sram_words(),
+    )
+
+
+@lru_cache(maxsize=64)
+def layer_compute(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    ifmap_sram_words: int,
+    filter_sram_words: int,
+    ofmap_sram_words: int,
+) -> LayerComputeResult:
+    """Memoized per-layer compute simulation (fold schedule included).
+
+    Keyed on the layer plus every knob that can change the schedule, so
+    repeated layers across sweep points — and the single-layer
+    topologies of the fig9/fig10-style studies — are planned once per
+    worker process.  The returned record is shared between callers and
+    must be treated as immutable (consumers that need to drop
+    ``fold_specs`` copy via ``dataclasses.replace``).
+    """
+    return ComputeSimulator(
+        array_rows=array_rows,
+        array_cols=array_cols,
+        dataflow=dataflow,
+        ifmap_sram_words=ifmap_sram_words,
+        filter_sram_words=filter_sram_words,
+        ofmap_sram_words=ofmap_sram_words,
+    ).simulate_layer(layer)
+
+
+def clear_compute_plan_cache() -> None:
+    """Drop every memoized layer plan (tests and timing harnesses)."""
+    layer_compute.cache_clear()
+
+
+def make_memory_backend(config: SystemConfig) -> MemoryBackend:
+    """Fresh memory backend for one config (state must not leak).
+
+    The DRAM path routes line batches through the engine the config
+    selects (``dram.engine``): the vectorized batched engine by
+    default, or the scalar reference engine for cross-validation.
+    DRAM statistics are read back through the backend's seam
+    (:meth:`DramBackend.dram_stats`), never from the
+    :class:`RamulatorLite` instance directly — the batched engine
+    keeps its own state.
+    """
+    if config.dram.enabled:
+        dram_cfg = config.dram
+        dram = RamulatorLite(
+            technology=dram_cfg.technology,
+            channels=dram_cfg.channels,
+            ranks_per_channel=dram_cfg.ranks_per_channel,
+            banks_per_rank=dram_cfg.banks_per_rank,
+            capacity_gb_per_channel=dram_cfg.capacity_gb_per_channel,
+            address_mapping=dram_cfg.address_mapping,
+        )
+        return DramBackend(
+            dram,
+            read_queue_entries=dram_cfg.read_queue_entries,
+            write_queue_entries=dram_cfg.write_queue_entries,
+            word_bytes=config.arch.word_bytes,
+            max_issue_per_cycle=dram_cfg.issue_per_cycle,
+            engine=dram_cfg.engine,
+        )
+    return IdealBandwidthBackend(config.arch.bandwidth_words)
+
+
+def resolve_plan(
+    plan: ComputePlan,
+    backend: MemoryBackend,
+    run_name: str,
+    keep_timings: bool = False,
+    line_batches: list[list] | None = None,
+) -> RunResult:
+    """Per-config stall resolution: walk one plan against one backend.
+
+    ``line_batches`` optionally supplies each layer's fold traffic as
+    prebuilt :class:`~repro.dram.engine.LineRequestBatch` lists (outer
+    list per layer, aligned with ``plan.computes``), letting a fan-out
+    share the fetch-to-line chop and decoded issue order across
+    configs; requires a backend exposing ``complete_batch`` (the DRAM
+    backend).  Results are bit-identical either way.
+    """
+    memory = DoubleBufferMemory(backend)
+    result = RunResult(run_name=run_name, topology_name=plan.topology_name)
+    clock = 0
+    for index, compute in enumerate(plan.computes):
+        stalls_before = backend.stall_cycles_from_backpressure
+        timeline = memory.run(
+            compute.fold_specs,
+            keep_timings=keep_timings,
+            start_cycle=clock,
+            line_batches=line_batches[index] if line_batches is not None else None,
+        )
+        clock += timeline.total_cycles
+        result.layers.append(
+            LayerResult(
+                layer_name=compute.layer_name,
+                compute=compute,
+                timeline=timeline,
+                backpressure_stall_cycles=backend.stall_cycles_from_backpressure
+                - stalls_before,
+                drain_cycles=max(0, backend.drain() - clock),
+            )
+        )
+    if isinstance(backend, DramBackend):
+        result.dram_stats = backend.dram_stats()
+    return result
+
+
 class Simulator:
     """End-to-end single-core simulator for a :class:`SystemConfig`."""
 
@@ -135,69 +311,46 @@ class Simulator:
             filter_sram_words=arch.filter_sram_words(),
             ofmap_sram_words=arch.ofmap_sram_words(),
         )
-    def _make_backend(self) -> MemoryBackend:
-        """Fresh backend per run (bank/queue state must not leak).
 
-        The DRAM path routes line batches through the engine the config
-        selects (``dram.engine``): the vectorized batched engine by
-        default, or the scalar reference engine for cross-validation.
-        DRAM statistics are read back through the backend's seam
-        (:meth:`DramBackend.dram_stats`), never from the
-        :class:`RamulatorLite` instance directly — the batched engine
-        keeps its own state.
-        """
-        if self.config.dram.enabled:
-            dram_cfg = self.config.dram
-            dram = RamulatorLite(
-                technology=dram_cfg.technology,
-                channels=dram_cfg.channels,
-                ranks_per_channel=dram_cfg.ranks_per_channel,
-                banks_per_rank=dram_cfg.banks_per_rank,
-                capacity_gb_per_channel=dram_cfg.capacity_gb_per_channel,
-                address_mapping=dram_cfg.address_mapping,
-            )
-            return DramBackend(
-                dram,
-                read_queue_entries=dram_cfg.read_queue_entries,
-                write_queue_entries=dram_cfg.write_queue_entries,
-                word_bytes=self.config.arch.word_bytes,
-                max_issue_per_cycle=dram_cfg.issue_per_cycle,
-                engine=dram_cfg.engine,
-            )
-        return IdealBandwidthBackend(self.config.arch.bandwidth_words)
+    def _make_backend(self) -> MemoryBackend:
+        """Fresh backend per run (see :func:`make_memory_backend`)."""
+        return make_memory_backend(self.config)
+
+    def _layer_compute(self, layer: Layer) -> LayerComputeResult:
+        """Memoized per-layer schedule for this simulator's architecture."""
+        arch = self.config.arch
+        return layer_compute(
+            layer,
+            self.compute_sim.dataflow,
+            arch.array_rows,
+            arch.array_cols,
+            arch.ifmap_sram_words(),
+            arch.filter_sram_words(),
+            arch.ofmap_sram_words(),
+        )
+
+    def plan(self, topology: Topology) -> ComputePlan:
+        """Build the DRAM-independent compute plan for ``topology``."""
+        return ComputePlan(
+            topology_name=topology.name,
+            signature=plan_signature(self.config.arch),
+            computes=tuple(self._layer_compute(layer) for layer in topology),
+        )
 
     def run(self, topology: Topology, keep_timings: bool = False) -> RunResult:
         """Simulate every layer of ``topology`` in order."""
-        backend = self._make_backend()
-        memory = DoubleBufferMemory(backend)
-        result = RunResult(run_name=self.config.run.run_name, topology_name=topology.name)
-        clock = 0
-        for layer in topology:
-            compute = self.compute_sim.simulate_layer(layer)
-            stalls_before = backend.stall_cycles_from_backpressure
-            timeline = memory.run(
-                compute.fold_specs, keep_timings=keep_timings, start_cycle=clock
-            )
-            clock += timeline.total_cycles
-            result.layers.append(
-                LayerResult(
-                    layer_name=layer.name,
-                    compute=compute,
-                    timeline=timeline,
-                    backpressure_stall_cycles=backend.stall_cycles_from_backpressure
-                    - stalls_before,
-                    drain_cycles=max(0, backend.drain() - clock),
-                )
-            )
-        if isinstance(backend, DramBackend):
-            result.dram_stats = backend.dram_stats()
-        return result
+        return resolve_plan(
+            self.plan(topology),
+            self._make_backend(),
+            self.config.run.run_name,
+            keep_timings=keep_timings,
+        )
 
     def run_layer(self, layer: object, keep_timings: bool = False) -> LayerResult:
         """Simulate a single layer with a fresh backend."""
         backend = self._make_backend()
         memory = DoubleBufferMemory(backend)
-        compute = self.compute_sim.simulate_layer(layer)  # type: ignore[arg-type]
+        compute = self._layer_compute(layer)  # type: ignore[arg-type]
         timeline = memory.run(compute.fold_specs, keep_timings=keep_timings)
         return LayerResult(
             layer_name=compute.layer_name,

@@ -17,7 +17,13 @@ from repro.dram.engine import (
     ReferenceEngine,
     make_engine,
 )
-from repro.dram.engine_batched import BatchedEngine
+from repro.dram.engine_batched import (
+    BatchedEngine,
+    PreparedLineBatch,
+    issue_order_arrays,
+    prepare_line_batch,
+)
+from repro.dram.fanout import simulate_many_dram
 
 __all__ = [
     "DramTiming",
@@ -35,5 +41,9 @@ __all__ = [
     "MemoryEngine",
     "ReferenceEngine",
     "BatchedEngine",
+    "PreparedLineBatch",
+    "issue_order_arrays",
+    "prepare_line_batch",
     "make_engine",
+    "simulate_many_dram",
 ]

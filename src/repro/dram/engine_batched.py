@@ -45,7 +45,9 @@ numpy dispatch overhead.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass, field
 from itertools import chain
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,8 +56,80 @@ from repro.dram.dram_sim import DramStats, RamulatorLite
 from repro.dram.engine import BatchResult, LineRequestBatch
 from repro.errors import DramError, MemoryModelError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.compute_sim import TileFetch
+
 _LOW = -(1 << 42)  # "no constraint" sentinel (far below any real cycle)
 _BIG = 1 << 44  # segment offset for segmented running-max scans
+
+
+def issue_order_arrays(batch: LineRequestBatch) -> tuple[np.ndarray, np.ndarray]:
+    """The batch's round-robin issue order as ``(lines, is_write)`` arrays.
+
+    Exactly the construction the vector path performs on entry (stream
+    concatenation, then a (round, stream) key sort), factored out so a
+    fan-out can decode the stream once and share it across engines.
+    """
+    streams = [s for s in batch.streams if s.num_lines]
+    lines = np.concatenate(
+        [
+            np.arange(s.first_line, s.first_line + s.num_lines, dtype=np.int64)
+            for s in streams
+        ]
+    )
+    is_write = np.concatenate(
+        [np.full(s.num_lines, s.is_write, dtype=bool) for s in streams]
+    )
+    if len(streams) > 1:
+        # Sort by (round, stream) — the round-robin issue order.
+        num_streams = len(streams)
+        keys = np.concatenate(
+            [
+                np.arange(s.num_lines, dtype=np.int64) * num_streams + stream_id
+                for stream_id, s in enumerate(streams)
+            ]
+        )
+        order = np.argsort(keys)
+        lines = lines[order]
+        is_write = is_write[order]
+    return lines, is_write
+
+
+@dataclass(frozen=True)
+class PreparedLineBatch(LineRequestBatch):
+    """A line batch with its vector-path issue order precomputed.
+
+    Behaves exactly like a plain :class:`LineRequestBatch` everywhere
+    (the reference engine, the scalar and fast paths read the streams);
+    the vector path skips its interleave/sort step and consumes the
+    attached read-only arrays.  Built by :func:`prepare_line_batch` so
+    the DRAM fan-out shares one decoded line stream per word size
+    across a whole config grid.
+    """
+
+    lines_in_order: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+    writes_in_order: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+
+
+def prepare_line_batch(
+    fetches: tuple["TileFetch", ...], word_bytes: int
+) -> LineRequestBatch:
+    """Chop fetches into lines and precompute the vector issue order.
+
+    Batches below the vector threshold stay plain (the scalar and
+    single-stream paths never touch the arrays).
+    """
+    base = LineRequestBatch.from_fetches(fetches, word_bytes)
+    if base.total_lines < BatchedEngine.vector_threshold:
+        return base
+    lines, is_write = issue_order_arrays(base)
+    return PreparedLineBatch(
+        streams=base.streams, lines_in_order=lines, writes_in_order=is_write
+    )
 
 
 def _interleave(batch: LineRequestBatch) -> tuple[list[int], list[int]]:
@@ -783,28 +857,17 @@ class BatchedEngine:
         read_q, write_q = self.read_queue, self.write_queue
 
         # --- 1. interleave + decode + per-call prefix counts --------------
-        streams = [s for s in batch.streams if s.num_lines]
-        lines = np.concatenate(
-            [
-                np.arange(s.first_line, s.first_line + s.num_lines, dtype=np.int64)
-                for s in streams
-            ]
-        )
-        is_write = np.concatenate(
-            [np.full(s.num_lines, s.is_write, dtype=bool) for s in streams]
-        )
-        if len(streams) > 1:
-            # Sort by (round, stream) — the round-robin issue order.
-            num_streams = len(streams)
-            keys = np.concatenate(
-                [
-                    np.arange(s.num_lines, dtype=np.int64) * num_streams + stream_id
-                    for stream_id, s in enumerate(streams)
-                ]
-            )
-            order = np.argsort(keys)
-            lines = lines[order]
-            is_write = is_write[order]
+        # Prepared batches arrive with the issue order rematerialized (the
+        # fan-out shares one decoded stream across a config grid); plain
+        # batches build it here.  Either way the arrays are read-only.
+        if (
+            isinstance(batch, PreparedLineBatch)
+            and batch.lines_in_order is not None
+        ):
+            lines = batch.lines_in_order
+            is_write = batch.writes_in_order
+        else:
+            lines, is_write = issue_order_arrays(batch)
         n = lines.size
         chan, rank, bank, row = self.mapper.decode_batch(lines)
         flat_bank = (chan * self.ranks + rank) * self.banks + bank

@@ -1,0 +1,203 @@
+"""The DRAM fan-out: one compute plan, an arbitrary ``dram.*`` grid.
+
+Fourth instance of the fan-out seam (see DESIGN.md "The fan-out seam"):
+the paper's memory-system studies (fig 9 channels, fig 10 request
+queues, the DRAM ablations) sweep only ``dram.*`` knobs, yet each point
+used to re-run the identical dense compute pass and re-plan the
+identical fetch streams before the backend ever differed.  Here the
+shared upstream artifact is the :class:`~repro.core.simulator.ComputePlan`
+— per-layer fold schedules plus fetch plans, a pure function of the
+architecture section — and :func:`simulate_many_dram` resolves it
+against every memory configuration of a grid:
+
+* the plan is built (and memoized) once;
+* configs sharing a word size share one decoded line stream — the
+  fetch-to-64B-line chop plus the round-robin issue order the vector
+  engine would otherwise rematerialize per config (mirroring the
+  ``prime_key_lut`` sharing of the layout fan-out);
+* ``workers > 1`` fans the per-config stall-resolution walks over a
+  fork pool (:func:`repro.utils.pool.pool_context`), shipping the plan
+  and the shared streams to each worker once via the pool initializer.
+
+Results are bit-identical to ``Simulator(config).run(topology)`` per
+config — enforced by ``tests/dram/test_dram_fanout_equivalence.py``.
+The sweep runner (:mod:`repro.run.sweep`) dispatches groups of points
+that differ only in ``dram.*`` / ``layout.*`` axes through this seam.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.config.system import SystemConfig
+from repro.dram.engine import LineRequestBatch
+from repro.dram.engine_batched import prepare_line_batch
+from repro.errors import DramError
+from repro.utils.pool import pool_context
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # The simulator imports repro.dram.backend (whose package init loads
+    # this module), so the runtime imports below are deferred into the
+    # functions; annotations stay string-typed via __future__.
+    from repro.core.simulator import ComputePlan, RunResult
+
+#: Per-layer, per-fold line batches for one word size.
+_LineBatches = list[list[LineRequestBatch]]
+
+
+def _shared_line_batches(
+    plan: ComputePlan, configs: Sequence[SystemConfig]
+) -> dict[int, _LineBatches]:
+    """One decoded line stream per word size appearing in the grid.
+
+    Only DRAM-enabled configs consume line batches (the ideal-bandwidth
+    backend works in words, straight from the fold specs).
+    """
+    return {
+        word_bytes: [
+            [prepare_line_batch(spec.fetches, word_bytes) for spec in compute.fold_specs]
+            for compute in plan.computes
+        ]
+        for word_bytes in sorted(
+            {c.arch.word_bytes for c in configs if c.dram.enabled}
+        )
+    }
+
+
+def _resolve_config(
+    plan: ComputePlan,
+    config: SystemConfig,
+    line_batches: _LineBatches | None,
+) -> RunResult:
+    """One config's stall resolution against a fresh backend."""
+    from repro.core.simulator import make_memory_backend, resolve_plan
+
+    backend = make_memory_backend(config)
+    return resolve_plan(
+        plan,
+        backend,
+        config.run.run_name,
+        line_batches=line_batches if config.dram.enabled else None,
+    )
+
+
+# --------------------------------------------------------------- worker pool
+
+#: Installed once per worker by the pool initializer: the plan plus the
+#: shared per-word-size line streams (zero-copy under fork).
+_WORKER_PLAN: ComputePlan | None = None
+_WORKER_BATCHES: dict[int, _LineBatches] = {}
+
+
+def _fanout_init(plan: ComputePlan, batches: dict[int, _LineBatches]) -> None:
+    global _WORKER_PLAN, _WORKER_BATCHES
+    _WORKER_PLAN = plan
+    _WORKER_BATCHES = batches
+
+
+def _fanout_config(config: SystemConfig) -> tuple:
+    """Worker entry point: resolve one config, return the slim outcome.
+
+    The full :class:`RunResult` embeds the plan's compute records
+    (thousands of fold specs); shipping those back through the pipe per
+    config would dwarf the actual result.  Workers return only the
+    per-layer timelines + counters and the parent reattaches the plan's
+    computes — reconstructing a bit-identical ``RunResult``.
+    """
+    assert _WORKER_PLAN is not None
+    result = _resolve_config(
+        _WORKER_PLAN, config, _WORKER_BATCHES.get(config.arch.word_bytes)
+    )
+    return (
+        [
+            (layer.timeline, layer.backpressure_stall_cycles, layer.drain_cycles)
+            for layer in result.layers
+        ],
+        result.dram_stats,
+    )
+
+
+def _rebuild_result(
+    plan: ComputePlan, config: SystemConfig, reduced: tuple
+) -> RunResult:
+    """Reattach the plan's compute records to a worker's slim outcome."""
+    from repro.core.simulator import LayerResult, RunResult
+
+    layers, dram_stats = reduced
+    return RunResult(
+        run_name=config.run.run_name,
+        topology_name=plan.topology_name,
+        layers=[
+            LayerResult(
+                layer_name=compute.layer_name,
+                compute=compute,
+                timeline=timeline,
+                backpressure_stall_cycles=backpressure,
+                drain_cycles=drain,
+            )
+            for compute, (timeline, backpressure, drain) in zip(plan.computes, layers)
+        ],
+        dram_stats=dram_stats,
+    )
+
+
+# ---------------------------------------------------------------- entry point
+
+
+def simulate_many_dram(
+    plan: ComputePlan,
+    configs: Sequence[SystemConfig],
+    workers: int = 1,
+) -> list[RunResult]:
+    """Resolve one compute plan against a grid of memory configurations.
+
+    Every config must share the plan's compute schedule — same array,
+    dataflow and SRAM working sizes (:func:`plan_signature`); the
+    ``dram.*`` section (engine, technology, channels, queues, mapping,
+    issue rate), ``arch.word_bytes`` (with SRAM kilobytes scaled to
+    keep the word capacity fixed) and ``arch.bandwidth_words`` (the
+    DRAM-disabled ideal backend) are free to vary.  Results come back
+    in ``configs`` order, each bit-identical to
+    ``Simulator(config).run(topology)`` for the planned topology.
+
+    Args:
+        plan: the shared compute plan (:meth:`Simulator.plan`).
+        configs: memory configurations to fan out over.
+        workers: process count for the per-config walks; ``1`` (the
+            default) resolves serially, more fan the walks over a fork
+            pool with the plan and line streams shipped once per worker.
+    """
+    from repro.core.simulator import plan_signature
+
+    configs = list(configs)
+    if not configs:
+        return []
+    for config in configs:
+        signature = plan_signature(config.arch)
+        if signature != plan.signature:
+            raise DramError(
+                f"config {config.run.run_name!r} has compute signature "
+                f"{signature}, plan was built for {plan.signature}; "
+                "dram.* fan-out requires an identical fold schedule"
+            )
+    batches = _shared_line_batches(plan, configs)
+
+    if workers > 1 and len(configs) > 1:
+        processes = min(workers, len(configs))
+        with pool_context().Pool(
+            processes=processes, initializer=_fanout_init, initargs=(plan, batches)
+        ) as pool:
+            reduced = pool.map(_fanout_config, configs, chunksize=1)
+        return [
+            _rebuild_result(plan, config, outcome)
+            for config, outcome in zip(configs, reduced)
+        ]
+
+    return [
+        _resolve_config(plan, config, batches.get(config.arch.word_bytes))
+        for config in configs
+    ]
+
+
+__all__ = ["simulate_many_dram"]

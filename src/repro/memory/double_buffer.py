@@ -124,6 +124,7 @@ class DoubleBufferMemory:
         fold_specs: list[FoldSpec],
         keep_timings: bool = False,
         start_cycle: int = 0,
+        line_batches: list | None = None,
     ) -> MemoryTimeline:
         """Resolve the timeline for one layer's fold schedule.
 
@@ -131,13 +132,32 @@ class DoubleBufferMemory:
         a backend shared across layers (one DRAM, one bus) sees globally
         consistent issue times; the returned cycle counts are all
         layer-relative.
+
+        ``line_batches`` optionally carries each fold's traffic as a
+        prebuilt :class:`~repro.dram.engine.LineRequestBatch` (one per
+        fold, aligned with ``fold_specs``); the backend must then expose
+        ``complete_batch`` (the DRAM backend does).  A fan-out sharing
+        one fold schedule across many backends uses this to chop and
+        order the line streams once instead of once per config — the
+        resolved timeline is bit-identical to the fetch-span path.
         """
         if not fold_specs:
             return MemoryTimeline(0, 0, 0, 0)
+        if line_batches is not None and len(line_batches) != len(fold_specs):
+            raise MemoryModelError(
+                f"{len(line_batches)} line batches for {len(fold_specs)} folds"
+            )
+
+        if line_batches is None:
+            def complete(index: int, cycle: int) -> int:
+                return self.backend.complete_fetches(fold_specs[index].fetches, cycle)
+        else:
+            def complete(index: int, cycle: int) -> int:
+                return self.backend.complete_batch(line_batches[index], cycle)
 
         timings: list[FoldTiming] = []
         # Cold start: fold 0's data fetched before compute begins.
-        ready = self.backend.complete_fetches(fold_specs[0].fetches, start_cycle)
+        ready = complete(0, start_cycle)
         cold_start = ready - start_cycle
         clock = ready
         stall_total = 0
@@ -161,9 +181,7 @@ class DoubleBufferMemory:
                 )
             # Prefetch the next fold while this one computes.
             if index + 1 < len(fold_specs):
-                ready = self.backend.complete_fetches(
-                    fold_specs[index + 1].fetches, compute_start
-                )
+                ready = complete(index + 1, compute_start)
             clock = compute_end
 
         # Note: ``clock`` started at ``ready``, so the cold start is not

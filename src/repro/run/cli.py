@@ -223,6 +223,10 @@ def sweep_main(argv: list[str]) -> int:
     report = write_sweep_report(results, Path(args.output) / f"{args.name}_report.csv")
     axis_names = [axis.name for axis in spec.axes]
     print(f"sweep:    {args.name} ({len(results)} points, {args.workers} workers)")
+    if runner.last_grouping is not None and runner.last_grouping[1]:
+        simulated, units = runner.last_grouping
+        unit_word = "unit" if units == 1 else "units"
+        print(f"grouping: {simulated} points -> {units} simulation {unit_word}")
     for result in results:
         knobs = "  ".join(
             f"{name}={result.assignment_dict[name]}" for name in axis_names

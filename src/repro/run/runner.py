@@ -119,21 +119,18 @@ def run_simulation(
     output_dir: str | Path | None = None,
     write_reports: bool = True,
     dense: bool = True,
-    layout_eval: bool = True,
 ) -> SimulationOutputs:
     """Run a full simulation; optionally write all reports to disk.
 
     ``dense=False`` skips the cycle-accurate dense pass — and with it the
-    energy model, which consumes the dense per-layer results — leaving
-    only the feature simulations (sparsity).  Sparsity-only sweeps such
-    as the paper's Figure 8 use this to avoid paying for a dense
-    simulation whose results they never read.
-
-    ``layout_eval=False`` skips the per-layer layout study even when the
-    config enables it: the sweep runner uses this when it batches a
-    group of layout-only variants through the trace fan-out
-    (:func:`repro.layout.integrate.evaluate_layout_slowdown_many`)
-    instead of per-point calls.
+    energy model, which consumes the dense per-layer results, and the
+    layout study, which only accompanies dense runs — leaving only the
+    feature simulations (sparsity).  Sparsity-only sweeps such as the
+    paper's Figure 8 use this to avoid paying for a dense simulation
+    whose results they never read, and the sweep runner's fan-out groups
+    use it for their shared sparsity pass (the dense run and the layout
+    study resolve per-config through the DRAM / layout fan-out seams
+    instead).
     """
     if dense:
         run_result = Simulator(config).run(topology)
@@ -165,7 +162,7 @@ def run_simulation(
             for layer in topology
         ]
 
-    if config.layout.enabled and dense and layout_eval:
+    if config.layout.enabled and dense:
         # The Section VI layout study: cost every layer's ifmap demand
         # under the banked open-line model vs the flat bandwidth model,
         # through the configured evaluator seam (layout.evaluator).  The

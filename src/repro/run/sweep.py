@@ -19,6 +19,12 @@ workloads.  This module turns that pattern into a first-class subsystem:
 * :class:`SweepRunner` — fans cache misses out over a
   ``multiprocessing`` pool.  Results always come back ordered by point
   index, so a parallel sweep is bitwise-identical to a serial one.
+  Before dispatch, points are grouped by *axis class*: configs that
+  differ only in ``dram.*`` and/or ``layout.*`` fields collapse into
+  one simulation unit that shares the compute plan and trace stream
+  and resolves per-config through the DRAM / layout fan-out seams
+  (see DESIGN.md "The DRAM fan-out"); :attr:`SweepRunner.last_grouping`
+  reports the collapse.
 
 Example::
 
@@ -45,7 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.config.system import RunConfig, SystemConfig
-from repro.core.simulator import RunResult
+from repro.core.simulator import RunResult, Simulator
 from repro.energy.accelergy import EnergyReport
 from repro.errors import ConfigError
 from repro.layout.integrate import LayoutEvalConfig, LayoutEvalResult
@@ -57,12 +63,19 @@ from repro.utils.pool import pool_context
 #: Config sections an axis may touch (the run section is metadata, not a knob).
 _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicore")
 
+#: Axis classes that fan out *inside* one simulation unit: points whose
+#: configs differ only in these sections share the compute plan, the
+#: sparsity pass and the trace stream, and resolve per-config through
+#: the DRAM / layout fan-out seams instead of separate dense runs.
+_GROUPABLE_SECTIONS = ("dram", "layout")
+
 #: Simulator-semantics salt folded into every content key.  Bump this
 #: whenever output *shape or meaning* changes without a config-field
 #: change, so pre-existing disk caches re-simulate instead of serving
-#: stale rows.  2026-07 (fanout): sweep payloads now carry the per-layer
-#: layout study results, so pre-fanout caches lack a field.
-_SEMANTICS_SALT = "v3-layout-fanout-2026-07"
+#: stale rows.  2026-07 (dram fanout): grouped units now resolve dense
+#: runs through the shared-plan DRAM fan-out, so pre-PR-5 disk caches
+#: re-simulate once under the new grouping.
+_SEMANTICS_SALT = "v5-dram-fanout-2026-07"
 
 
 @dataclass(frozen=True)
@@ -250,66 +263,126 @@ def _simulate_point(args: tuple[SystemConfig, Topology, bool]) -> _PointPayload:
 def _simulate_group(
     args: tuple[list[SystemConfig], Topology, bool], workers: int = 1
 ) -> list[_PointPayload]:
-    """Worker entry point: simulate a layout-only group in one pass.
+    """Worker entry point: simulate a fan-out group in one pass.
 
-    The configs differ only in ``layout.*`` fields, so the dense run,
-    the sparsity pass and the energy model are computed once, and the
-    per-layer layout study fans every config through
-    :func:`~repro.layout.integrate.evaluate_layout_slowdown_many` on a
-    single trace stream.  Payloads are bit-identical to per-point
-    :func:`_simulate_point` calls (the fan-out equivalence fuzz covers
-    the layout half; the dense half never reads ``config.layout``).
+    The configs differ only in the groupable axis classes
+    (``dram.*`` and/or ``layout.*``), so the shared upstream work runs
+    once — the compute plan (fold schedules + closed-form stats) and
+    the sparsity pass — and the per-config halves resolve through
+    their fan-out seams:
 
-    ``workers`` parallelises the fan-out's per-config cascades — used
-    when this group is the sweep's *only* work unit and would otherwise
+    * the dense run fans the plan across the group's *distinct* memory
+      configurations (:func:`repro.dram.fanout.simulate_many_dram`),
+      with the energy model (which consumes the dense result) evaluated
+      once per distinct memory configuration;
+    * the per-layer layout study fans the group's *distinct* layout
+      configurations over a single trace stream
+      (:func:`~repro.layout.integrate.evaluate_layout_slowdown_many`).
+
+    Payloads are bit-identical to per-point :func:`_simulate_point`
+    calls — both fan-out seams are fuzz-tested against their
+    independent paths, and the shared passes never read a groupable
+    section.
+
+    ``workers`` parallelises the fan-outs' per-config work — used when
+    this group is the sweep's *only* work unit and would otherwise
     leave the runner's pool idle; groups dispatched across a pool keep
     the default (one process each, no nesting).
     """
+    from repro.dram.fanout import simulate_many_dram
+    from repro.energy.accelergy import AccelergyLite
     from repro.layout.integrate import evaluate_layout_slowdown_many
 
     configs, topology, dense = args
+    if not dense:  # pragma: no cover - grouping only forms dense units
+        raise RuntimeError("fan-out groups require the dense pass")
     start = time.perf_counter()
-    outputs = run_simulation(
-        configs[0], topology, write_reports=False, dense=dense, layout_eval=False
-    )
-    run_result = _slim_run_result(outputs.run_result)
-    sparse_results = [
-        dataclasses.replace(result, fold_specs=[])
-        for result in outputs.sparse_results
-    ]
-    per_point: list[list[LayoutEvalResult]] = [[] for _ in configs]
-    if dense and configs[0].layout.enabled:
-        arch = configs[0].arch
-        grid = [
-            LayoutEvalConfig(
-                num_banks=config.layout.num_banks,
-                total_bandwidth_words=config.layout.total_bandwidth_words,
-                ports_per_bank=config.layout.ports_per_bank,
-                evaluator=config.layout.evaluator,
-            )
-            for config in configs
+    base = configs[0]
+
+    # Shared passes: the compute plan and the sparsity feature (neither
+    # reads a groupable section).
+    plan = Simulator(base).plan(topology)
+    sparse_results: list[SparseLayerResult] = []
+    if base.sparsity.sparsity_support:
+        feature_outputs = run_simulation(
+            base, topology, write_reports=False, dense=False
+        )
+        sparse_results = [
+            dataclasses.replace(result, fold_specs=[])
+            for result in feature_outputs.sparse_results
         ]
+
+    # DRAM fan-out: one stall resolution per distinct memory config
+    # (all DRAM-disabled points share the ideal-bandwidth resolution).
+    dram_units: dict[object, int] = {}
+    dram_configs: list[SystemConfig] = []
+    dram_of_point: list[int] = []
+    for config in configs:
+        key = config.dram if config.dram.enabled else None
+        if key not in dram_units:
+            dram_units[key] = len(dram_configs)
+            dram_configs.append(config)
+        dram_of_point.append(dram_units[key])
+    run_results = simulate_many_dram(plan, dram_configs, workers=workers)
+    energy_reports: list[EnergyReport | None] = [None] * len(dram_configs)
+    if base.energy.enabled:
+        energy_reports = [
+            AccelergyLite(base.arch, base.energy).estimate_run(run_result)
+            for run_result in run_results
+        ]
+    slim_results = [_slim_run_result(run_result) for run_result in run_results]
+
+    # Layout fan-out: one evaluator cascade per distinct layout config,
+    # all fed from a single trace stream.  layout.enabled is itself a
+    # groupable knob, so the study runs for exactly the points that
+    # enable it (None marks a disabled point).
+    layout_of_point: list[int | None] = []
+    unique_layouts: list[LayoutEvalConfig] = []
+    per_layout: list[list[LayoutEvalResult]] = []
+    layout_units: dict[LayoutEvalConfig, int] = {}
+    for config in configs:
+        if not config.layout.enabled:
+            layout_of_point.append(None)
+            continue
+        eval_config = LayoutEvalConfig(
+            num_banks=config.layout.num_banks,
+            total_bandwidth_words=config.layout.total_bandwidth_words,
+            ports_per_bank=config.layout.ports_per_bank,
+            evaluator=config.layout.evaluator,
+        )
+        if eval_config not in layout_units:
+            layout_units[eval_config] = len(unique_layouts)
+            unique_layouts.append(eval_config)
+        layout_of_point.append(layout_units[eval_config])
+    if unique_layouts:
+        per_layout = [[] for _ in unique_layouts]
+        arch = base.arch
         for layer in topology:
             results = evaluate_layout_slowdown_many(
                 layer,
                 arch.dataflow,
                 arch.array_rows,
                 arch.array_cols,
-                grid,
+                unique_layouts,
                 workers=workers,
             )
             for index, result in enumerate(results):
-                per_point[index].append(result)
+                per_layout[index].append(result)
+
     wall_seconds = (time.perf_counter() - start) / len(configs)
     return [
         _PointPayload(
-            run_result=run_result,
-            energy_report=outputs.energy_report,
+            run_result=slim_results[dram_of_point[position]],
+            energy_report=energy_reports[dram_of_point[position]],
             sparse_results=sparse_results,
             wall_seconds=wall_seconds,
-            layout_results=layout_results,
+            layout_results=(
+                []
+                if layout_of_point[position] is None
+                else per_layout[layout_of_point[position]]
+            ),
         )
-        for layout_results in per_point
+        for position in range(len(configs))
     ]
 
 
@@ -348,14 +421,14 @@ def content_key(
     )
 
 
-def _layout_group_key(
+def _fanout_group_key(
     config: SystemConfig, topology: Topology, simulate_dense: bool
 ) -> str:
-    """Content hash with the layout section blanked out.
+    """Content hash with the groupable axis classes blanked out.
 
-    Points sharing this key differ only in ``layout.*`` knobs, so they
-    share one dense/sparsity/energy simulation and can fan their layout
-    studies over a single trace stream.
+    Points sharing this key differ only in ``dram.*`` and/or
+    ``layout.*`` knobs, so they share one compute plan / sparsity pass
+    and resolve per-config through the DRAM and layout fan-out seams.
     """
     return _hashed(
         {
@@ -363,7 +436,7 @@ def _layout_group_key(
             "config": {
                 section: dataclasses.asdict(getattr(config, section))
                 for section in _SWEEPABLE_SECTIONS
-                if section != "layout"
+                if section not in _GROUPABLE_SECTIONS
             },
             "topology": [_canonical_layer(layer) for layer in topology],
             "simulate_dense": simulate_dense,
@@ -485,22 +558,23 @@ class SweepResult:
 _Unit = tuple[list[int], tuple[str, tuple]]
 
 
-def _layout_grouped_units(
-    points: list[SweepPoint], simulate_dense: bool
-) -> list[_Unit]:
+def _grouped_units(points: list[SweepPoint], simulate_dense: bool) -> list[_Unit]:
     """Partition points into fan-out groups and singleton units.
 
-    Points whose configs differ only in ``layout.*`` axes (and have the
-    layout study enabled) form one unit dispatched through
-    :func:`_simulate_group`; everything else stays a per-point unit.
-    Unit order follows first appearance, so serial and grouped sweeps
-    keep deterministic, index-ordered results.
+    Points whose configs differ only in groupable axis classes
+    (``dram.*`` and/or ``layout.*``) form one unit dispatched through
+    :func:`_simulate_group` — one compute plan + one trace stream, with
+    the dense run resolved per distinct memory config and the layout
+    study per distinct layout config.  Everything else (and every
+    sparsity-only point) stays a per-point unit.  Unit order follows
+    first appearance, so serial and grouped sweeps keep deterministic,
+    index-ordered results.
     """
     groups: dict[str, list[int]] = {}
     order: list[str] = []
     for position, point in enumerate(points):
-        if simulate_dense and point.config.layout.enabled:
-            key = _layout_group_key(point.config, point.topology, simulate_dense)
+        if simulate_dense:
+            key = _fanout_group_key(point.config, point.topology, simulate_dense)
         else:
             key = f"solo-{position}"
         if key not in groups:
@@ -558,10 +632,17 @@ class SweepRunner:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
+        #: ``(simulated_points, simulation_units)`` of the most recent
+        #: :meth:`run` — how far axis-class grouping collapsed the
+        #: points that actually simulated (cache hits and duplicates
+        #: never form units; a fully-cached run is ``(0, 0)``).
+        #: ``None`` before any run.
+        self.last_grouping: tuple[int, int] | None = None
 
     def run(self, spec: SweepSpec) -> list[SweepResult]:
         """Run every grid point; results come back ordered by index."""
         points = spec.expand()
+        self.last_grouping = (0, 0)
         keys = [
             self.cache.key(point.config, point.topology, spec.simulate_dense)
             for point in points
@@ -633,7 +714,8 @@ class SweepRunner:
     ) -> list[_PointPayload]:
         if not points:
             return []
-        units = _layout_grouped_units(points, simulate_dense)
+        units = _grouped_units(points, simulate_dense)
+        self.last_grouping = (len(points), len(units))
         if self.workers == 1 or len(units) == 1:
             # A single fan-out group would leave the pool idle — hand the
             # runner's workers to the group's per-config evaluation.

@@ -7,6 +7,7 @@ from repro.core.operand_matrix import (
     FILTER_BASE,
     IFMAP_BASE,
     OFMAP_BASE,
+    OperandMatrices,
     classify_address,
     conv_operand_matrices,
     gemm_operand_matrices,
@@ -107,3 +108,62 @@ class TestDispatchAndClassify:
     def test_classify_negative(self):
         with pytest.raises(SimulationError):
             classify_address(-1)
+
+
+class TestClosedFormUniqueCounts:
+    """The builders' closed-form footprints vs the np.unique reference."""
+
+    def test_conv_closed_form_is_stored(self):
+        layer = _conv()
+        ops = conv_operand_matrices(layer)
+        assert ops.ifmap_unique == layer.ifmap_words  # stride 1: full tensor
+        assert ops.filter_unique == ops.filter.size
+
+    def test_strided_conv_skips_gap_columns(self):
+        # stride 2 with a 1x1 filter touches every other row/column only.
+        layer = ConvLayer("s", ifmap_h=7, ifmap_w=7, filter_h=1, filter_w=1,
+                          channels=3, num_filters=2, stride_h=2, stride_w=2)
+        ops = conv_operand_matrices(layer)
+        assert ops.unique_ifmap_words == 4 * 4 * 3
+        assert ops.unique_ifmap_words == ops.unique_ifmap_words_reference()
+        assert ops.unique_ifmap_words < layer.ifmap_words
+
+    def test_fuzz_closed_form_matches_reference(self):
+        import random
+
+        rng = random.Random(1234)
+        for trial in range(200):
+            fh, fw = rng.randint(1, 5), rng.randint(1, 5)
+            layer = ConvLayer(
+                f"fuzz{trial}",
+                ifmap_h=fh + rng.randint(0, 12),
+                ifmap_w=fw + rng.randint(0, 12),
+                filter_h=fh,
+                filter_w=fw,
+                channels=rng.randint(1, 4),
+                num_filters=rng.randint(1, 4),
+                stride_h=rng.randint(1, 7),
+                stride_w=rng.randint(1, 7),
+            )
+            ops = conv_operand_matrices(layer)
+            assert ops.unique_ifmap_words == ops.unique_ifmap_words_reference(), layer
+            assert ops.unique_filter_words == ops.unique_filter_words_reference(), layer
+        for trial in range(40):
+            layer = GemmLayer(
+                f"gfuzz{trial}",
+                m=rng.randint(1, 9),
+                n=rng.randint(1, 9),
+                k=rng.randint(1, 9),
+            )
+            ops = gemm_operand_matrices(layer)
+            assert ops.unique_ifmap_words == ops.unique_ifmap_words_reference(), layer
+            assert ops.unique_filter_words == ops.unique_filter_words_reference(), layer
+
+    def test_hand_built_matrices_fall_back_to_reference(self):
+        ops = conv_operand_matrices(_conv())
+        bare = OperandMatrices(
+            shape=ops.shape, ifmap=ops.ifmap, filter=ops.filter, ofmap=ops.ofmap
+        )
+        assert bare.ifmap_unique is None
+        assert bare.unique_ifmap_words == ops.unique_ifmap_words
+        assert bare.unique_filter_words == ops.unique_filter_words

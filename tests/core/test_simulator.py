@@ -142,3 +142,52 @@ class TestReports:
         assert bandwidth.splitlines()[0].endswith(
             "DramBackpressureStall%,AvgDramBwInclDrain(words/cycle)"
         )
+
+
+class TestComputePlanSeam:
+    """The plan/resolve split behind the DRAM fan-out."""
+
+    def _dram_config(self, **dram_kw):
+        defaults = dict(enabled=True, channels=2)
+        defaults.update(dram_kw)
+        return SystemConfig(
+            arch=ArchitectureConfig(array_rows=8, array_cols=8, bandwidth_words=16),
+            dram=DramConfig(**defaults),
+        )
+
+    def test_plan_is_dram_independent(self):
+        from repro.core.simulator import plan_signature
+
+        ideal = _config()
+        dram = self._dram_config()
+        assert plan_signature(ideal.arch) == plan_signature(dram.arch)
+        assert Simulator(ideal).plan(toy_conv()) == Simulator(dram).plan(toy_conv())
+
+    def test_run_equals_plan_plus_resolve(self):
+        from repro.core.simulator import make_memory_backend, resolve_plan
+
+        config = self._dram_config()
+        sim = Simulator(config)
+        direct = sim.run(toy_conv())
+        resolved = resolve_plan(
+            sim.plan(toy_conv()), make_memory_backend(config), config.run.run_name
+        )
+        assert resolved == direct
+
+    def test_layer_plans_memoized_within_process(self):
+        from repro.core.simulator import clear_compute_plan_cache, layer_compute
+
+        clear_compute_plan_cache()
+        sim = Simulator(_config())
+        first = sim.plan(toy_conv())
+        misses = layer_compute.cache_info().misses
+        second = sim.plan(toy_conv())
+        assert layer_compute.cache_info().misses == misses
+        # Identical plan objects: repeated layers are never rebuilt.
+        assert all(a is b for a, b in zip(first.computes, second.computes))
+
+    def test_plan_carries_schedule_shape(self):
+        plan = Simulator(_config()).plan(toy_conv())
+        assert plan.num_layers == 2
+        assert plan.total_folds == sum(len(c.fold_specs) for c in plan.computes)
+        assert plan.topology_name == toy_conv().name

@@ -307,6 +307,27 @@ class TestSweepCli:
         assert main(argv) == 0
         assert "cache:    2 hits / 0 misses" in capsys.readouterr().out
 
+    def test_grouping_summary_line(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--preset",
+                "scale_sim_v2_default",
+                "--model",
+                "toy_gemm",
+                "--set",
+                "dram.channels=1,2",
+                "-p",
+                str(tmp_path),
+                "--name",
+                "cli_group",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # dram.* is a groupable axis class: both points share one unit.
+        assert "grouping: 2 points -> 1 simulation unit" in out
+
     def test_bad_axis_option_exits(self, tmp_path):
         with pytest.raises(SystemExit):
             main(
@@ -356,32 +377,64 @@ class TestLayoutFanoutGrouping:
             assert result.total_cycles == solo.run_result.total_cycles
 
     def test_grouping_unit_structure(self):
-        from repro.run.sweep import _layout_grouped_units
+        from repro.run.sweep import _grouped_units
 
         spec = self._layout_spec()
-        units = _layout_grouped_units(spec.expand(), True)
+        units = _grouped_units(spec.expand(), True)
         assert len(units) == 1  # one fan-out group of three points
         members, (kind, args) = units[0]
         assert kind == "group"
         assert members == [0, 1, 2]
         assert [config.layout.num_banks for config in args[0]] == [1, 2, 4]
 
-    def test_non_layout_axes_stay_singletons(self):
-        from repro.run.sweep import _layout_grouped_units
+    def test_dram_and_layout_axes_share_one_unit(self):
+        from repro.run.sweep import _grouped_units
 
         spec = self._layout_spec(
             axes=[Axis("layout.num_banks", (1, 2)), Axis("dram.channels", (1, 2))]
         )
-        units = _layout_grouped_units(spec.expand(), True)
-        # Two dram.channels values -> two groups of two layout points.
+        units = _grouped_units(spec.expand(), True)
+        # dram.* and layout.* are both groupable axis classes: the whole
+        # 2x2 cross collapses into one simulation unit.
+        assert [len(members) for members, _ in units] == [4]
+        assert units[0][1][0] == "group"
+
+    def test_non_groupable_axes_stay_separate(self):
+        from repro.run.sweep import _grouped_units
+
+        spec = self._layout_spec(
+            axes=[Axis("layout.num_banks", (1, 2)), Axis("arch.bandwidth_words", (10, 20))]
+        )
+        units = _grouped_units(spec.expand(), True)
+        # Two arch.* values -> two groups of two layout points.
         assert sorted(len(members) for members, _ in units) == [2, 2]
 
-    def test_layout_disabled_points_not_grouped(self):
-        from repro.run.sweep import _layout_grouped_units
+    def test_layout_disabled_points_still_group(self):
+        from repro.run.sweep import _grouped_units
 
+        # layout.* differences with the study disabled still share one
+        # compute plan (the dense run reads neither section).
         spec = _spec(axes=[Axis("layout.num_banks", (1, 2))])
-        units = _layout_grouped_units(spec.expand(), True)
-        assert all(len(members) == 1 for members, _ in units)
+        units = _grouped_units(spec.expand(), True)
+        assert [len(members) for members, _ in units] == [2]
+        results = SweepRunner(workers=1).run(spec)
+        assert results[0].total_cycles == results[1].total_cycles
+        assert all(not r.layout_results for r in results)
+
+    def test_mixed_layout_enabled_group_respects_each_point(self):
+        from repro.run.sweep import _simulate_point
+
+        # layout.enabled is itself groupable: both points share one unit,
+        # but only the enabled point may carry layout results.
+        for values in ((False, True), (True, False)):
+            spec = self._layout_spec(axes=[Axis("layout.enabled", values)])
+            results = SweepRunner(workers=1).run(spec)
+            for result in results:
+                solo = _simulate_point((result.config, spec.topologies[0], True))
+                assert result.layout_results == solo.layout_results, values
+            by_flag = {r.config.layout.enabled: r for r in results}
+            assert by_flag[True].layout_results
+            assert not by_flag[False].layout_results
 
     def test_parallel_grouped_sweep_identical_to_serial(self, tmp_path):
         spec = self._layout_spec()
@@ -423,6 +476,111 @@ class TestLayoutFanoutGrouping:
         results = SweepRunner(workers=1).run(_spec())
         with pytest.raises(ReportError):
             write_layout_sweep_report(results, tmp_path / "layout.csv")
+
+
+class TestDramFanoutGrouping:
+    """Sweep points differing only in dram.* ride one compute plan."""
+
+    def _dram_spec(self, **kwargs) -> SweepSpec:
+        from repro.config.system import DramConfig
+
+        base = _base().replace(dram=DramConfig(enabled=True, channels=1))
+        defaults = dict(
+            base=base,
+            axes=[Axis("dram.channels", (1, 2, 4))],
+            topologies=[toy_conv()],
+            name="dram_grid",
+        )
+        defaults.update(kwargs)
+        return SweepSpec(**defaults)
+
+    def test_dram_axis_collapses_to_one_unit(self):
+        from repro.run.sweep import _grouped_units
+
+        units = _grouped_units(self._dram_spec().expand(), True)
+        assert len(units) == 1
+        members, (kind, args) = units[0]
+        assert kind == "group"
+        assert members == [0, 1, 2]
+        assert [config.dram.channels for config in args[0]] == [1, 2, 4]
+
+    def test_grouped_results_match_per_point_simulation(self):
+        from repro.run.sweep import _simulate_point
+
+        spec = self._dram_spec(
+            axes=[
+                Axis("dram.channels", (1, 2)),
+                Axis(
+                    "queue",
+                    (4, 128),
+                    fields=("dram.read_queue_entries", "dram.write_queue_entries"),
+                ),
+                Axis("dram.engine", ("batched", "reference")),
+            ]
+        )
+        results = SweepRunner(workers=1).run(spec)
+        assert len(results) == 8
+        for result in results:
+            solo = _simulate_point((result.config, spec.topologies[0], True))
+            assert result.run_result.total_cycles == solo.run_result.total_cycles
+            assert result.run_result.layers[0].timeline == (
+                solo.run_result.layers[0].timeline
+            )
+            assert result.run_result.dram_stats == solo.run_result.dram_stats
+
+    def test_engines_agree_inside_one_group(self):
+        spec = self._dram_spec(axes=[Axis("dram.engine", ("reference", "batched"))])
+        reference, batched = SweepRunner(workers=1).run(spec)
+        assert reference.total_cycles == batched.total_cycles
+        assert reference.run_result.dram_stats == batched.run_result.dram_stats
+
+    def test_mixed_enabled_and_ideal_points_group(self):
+        spec = self._dram_spec(axes=[Axis("dram.enabled", (False, True))])
+        ideal, dram = SweepRunner(workers=1).run(spec)
+        assert ideal.run_result.dram_stats is None
+        assert dram.run_result.dram_stats is not None
+        assert ideal.total_cycles != dram.total_cycles
+
+    def test_energy_follows_the_memory_config(self):
+        from repro.run.sweep import _simulate_point
+
+        spec = self._dram_spec(
+            base=self._dram_spec().base.replace(energy=EnergyConfig(enabled=True))
+        )
+        results = SweepRunner(workers=1).run(spec)
+        energies = [result.energy_mj for result in results]
+        assert all(energy > 0 for energy in energies)
+        for result in results:
+            solo = _simulate_point((result.config, spec.topologies[0], True))
+            assert result.energy_mj == solo.energy_report.total_mj
+
+    def test_grouped_points_cache_individually(self):
+        cache = ResultCache()
+        spec = self._dram_spec()
+        SweepRunner(workers=1, cache=cache).run(spec)
+        assert cache.misses == 3
+        again = SweepRunner(workers=1, cache=cache).run(spec)
+        assert cache.hits == 3
+        assert all(result.from_cache for result in again)
+
+    def test_parallel_grouped_sweep_csv_identical_to_serial(self, tmp_path):
+        spec = self._dram_spec(topologies=[toy_gemm(), toy_conv()])
+        serial_csv = write_sweep_report(
+            SweepRunner(workers=1).run(spec), tmp_path / "serial.csv"
+        )
+        parallel_csv = write_sweep_report(
+            SweepRunner(workers=3).run(spec), tmp_path / "parallel.csv"
+        )
+        assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    def test_last_grouping_reports_collapse(self):
+        runner = SweepRunner(workers=1)
+        assert runner.last_grouping is None
+        runner.run(self._dram_spec())
+        assert runner.last_grouping == (3, 1)
+        # A fully cached re-run simulates nothing.
+        runner.run(self._dram_spec())
+        assert runner.last_grouping == (0, 0)
 
 
 class TestSweepCliLayoutReport:
