@@ -30,6 +30,7 @@ Layout slowdown and energy are layered on top by their feature packages
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -44,12 +45,14 @@ from repro.core.report import (
 )
 from repro.dram.backend import DramBackend
 from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.errors import ConfigError
 from repro.memory.double_buffer import (
     DoubleBufferMemory,
     IdealBandwidthBackend,
     MemoryBackend,
     MemoryTimeline,
 )
+from repro.store.artifact_store import active_store, canonical_artifact, content_address
 from repro.topology.layer import Layer
 from repro.topology.topology import Topology
 
@@ -159,6 +162,12 @@ class ComputePlan:
     topology_name: str
     signature: tuple
     computes: tuple[LayerComputeResult, ...]
+    #: Content address of (topology, signature) under the artifact-store
+    #: schema — the key downstream per-plan artifacts (shared decoded
+    #: line streams) hang off.  Identity metadata, not plan content, so
+    #: it never enters equality; empty for hand-built plans, which then
+    #: simply skip the store.
+    store_key: str = field(default="", compare=False, repr=False)
 
     @property
     def num_layers(self) -> int:
@@ -188,8 +197,36 @@ def plan_signature(arch: ArchitectureConfig) -> tuple:
     )
 
 
-@lru_cache(maxsize=64)
-def layer_compute(
+def layer_compute_store_key(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    ifmap_sram_words: int,
+    filter_sram_words: int,
+    ofmap_sram_words: int,
+) -> str:
+    """Artifact-store content address of one layer's compute schedule.
+
+    Exactly the ``plan_signature`` knobs plus the layer itself — the
+    full input set of :func:`layer_compute` — so equal keys imply
+    bit-identical schedules across processes and sessions.
+    """
+    return content_address(
+        "layer_compute",
+        {
+            "layer": canonical_artifact(layer),
+            "dataflow": str(dataflow),
+            "array_rows": array_rows,
+            "array_cols": array_cols,
+            "ifmap_sram_words": ifmap_sram_words,
+            "filter_sram_words": filter_sram_words,
+            "ofmap_sram_words": ofmap_sram_words,
+        },
+    )
+
+
+def _layer_compute_uncached(
     layer: Layer,
     dataflow: Dataflow,
     array_rows: int,
@@ -198,16 +235,22 @@ def layer_compute(
     filter_sram_words: int,
     ofmap_sram_words: int,
 ) -> LayerComputeResult:
-    """Memoized per-layer compute simulation (fold schedule included).
-
-    Keyed on the layer plus every knob that can change the schedule, so
-    repeated layers across sweep points — and the single-layer
-    topologies of the fig9/fig10-style studies — are planned once per
-    worker process.  The returned record is shared between callers and
-    must be treated as immutable (consumers that need to drop
-    ``fold_specs`` copy via ``dataclasses.replace``).
-    """
-    return ComputeSimulator(
+    """LRU-miss path: consult the artifact store, then really schedule."""
+    store = active_store()
+    if store is not None:
+        key = layer_compute_store_key(
+            layer,
+            dataflow,
+            array_rows,
+            array_cols,
+            ifmap_sram_words,
+            filter_sram_words,
+            ofmap_sram_words,
+        )
+        cached = store.get("layer_compute", key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+    result = ComputeSimulator(
         array_rows=array_rows,
         array_cols=array_cols,
         dataflow=dataflow,
@@ -215,11 +258,93 @@ def layer_compute(
         filter_sram_words=filter_sram_words,
         ofmap_sram_words=ofmap_sram_words,
     ).simulate_layer(layer)
+    if store is not None:
+        store.put("layer_compute", key, result)
+    return result
+
+
+#: Default in-process LRU size for memoized layer schedules; override
+#: with the ``REPRO_PLAN_CACHE_SIZE`` environment variable (store-backed
+#: workloads with many distinct layers thrash 64 entries) or at runtime
+#: via :func:`set_compute_plan_cache_size`.
+DEFAULT_PLAN_CACHE_SIZE = 64
+_PLAN_CACHE_SIZE_ENV = "REPRO_PLAN_CACHE_SIZE"
+
+
+def _initial_plan_cache_size() -> int:
+    raw = os.environ.get(_PLAN_CACHE_SIZE_ENV)
+    if raw is None:
+        return DEFAULT_PLAN_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_PLAN_CACHE_SIZE
+    return size if size >= 1 else DEFAULT_PLAN_CACHE_SIZE
+
+
+def _make_layer_compute(maxsize: int | None):
+    cached = lru_cache(maxsize=maxsize)(_layer_compute_uncached)
+    cached.__doc__ = (
+        """Memoized per-layer compute simulation (fold schedule included).
+
+    Keyed on the layer plus every knob that can change the schedule, so
+    repeated layers across sweep points — and the single-layer
+    topologies of the fig9/fig10-style studies — are planned once per
+    worker process.  On an LRU miss the active artifact store (when one
+    is installed — see :mod:`repro.store`) is consulted before any
+    scheduling happens, so a cold process loads plans instead of
+    re-scheduling.  The returned record is shared between callers and
+    must be treated as immutable (consumers that need to drop
+    ``fold_specs`` copy via ``dataclasses.replace``).
+    """
+    )
+    return cached
+
+
+#: The memoized entry point; rebound (not wrapped) by
+#: :func:`set_compute_plan_cache_size` so ``cache_info()`` /
+#: ``cache_clear()`` keep working on the public name.
+layer_compute = _make_layer_compute(_initial_plan_cache_size())
+
+
+def compute_plan_cache_size() -> int | None:
+    """Current LRU capacity of the per-layer plan cache (None = unbounded)."""
+    return layer_compute.cache_info().maxsize
+
+
+def set_compute_plan_cache_size(maxsize: int | None) -> None:
+    """Resize the per-layer plan LRU (dropping every memoized plan).
+
+    ``None`` makes the cache unbounded; otherwise ``maxsize`` must be
+    >= 1.  Store-backed sweeps over many distinct layers raise this
+    above the default so warm runs stay in memory after the first disk
+    load.
+    """
+    global layer_compute
+    if maxsize is not None and maxsize < 1:
+        raise ConfigError(f"plan cache size must be >= 1 or None, got {maxsize}")
+    layer_compute = _make_layer_compute(maxsize)
 
 
 def clear_compute_plan_cache() -> None:
     """Drop every memoized layer plan (tests and timing harnesses)."""
     layer_compute.cache_clear()
+
+
+def plan_store_key(topology: Topology, arch: ArchitectureConfig) -> str:
+    """Artifact-store content address of a whole topology's compute plan.
+
+    Hashes the canonical topology plus :func:`plan_signature`, i.e. the
+    complete input set of :meth:`Simulator.plan` — per-plan artifacts
+    (the DRAM fan-out's decoded line streams) key off this.
+    """
+    return content_address(
+        "compute_plan",
+        {
+            "topology": [canonical_artifact(layer) for layer in topology],
+            "signature": [str(part) for part in plan_signature(arch)],
+        },
+    )
 
 
 def make_memory_backend(config: SystemConfig) -> MemoryBackend:
@@ -330,11 +455,18 @@ class Simulator:
         )
 
     def plan(self, topology: Topology) -> ComputePlan:
-        """Build the DRAM-independent compute plan for ``topology``."""
+        """Build the DRAM-independent compute plan for ``topology``.
+
+        Each layer's schedule comes from the per-process LRU — which
+        itself falls back to the active artifact store before
+        re-scheduling — and the plan carries its content address so
+        downstream per-plan artifacts can persist too.
+        """
         return ComputePlan(
             topology_name=topology.name,
             signature=plan_signature(self.config.arch),
             computes=tuple(self._layer_compute(layer) for layer in topology),
+            store_key=plan_store_key(topology, self.config.arch),
         )
 
     def run(self, topology: Topology, keep_timings: bool = False) -> RunResult:

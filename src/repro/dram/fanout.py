@@ -34,6 +34,7 @@ from repro.config.system import SystemConfig
 from repro.dram.engine import LineRequestBatch
 from repro.dram.engine_batched import prepare_line_batch
 from repro.errors import DramError
+from repro.store.artifact_store import ArtifactStore, active_store
 from repro.utils.pool import pool_context
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,23 +47,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _LineBatches = list[list[LineRequestBatch]]
 
 
+def _build_line_batches(plan: ComputePlan, word_bytes: int) -> _LineBatches:
+    return [
+        [prepare_line_batch(spec.fetches, word_bytes) for spec in compute.fold_specs]
+        for compute in plan.computes
+    ]
+
+
 def _shared_line_batches(
-    plan: ComputePlan, configs: Sequence[SystemConfig]
+    plan: ComputePlan,
+    configs: Sequence[SystemConfig],
+    store: ArtifactStore | None = None,
 ) -> dict[int, _LineBatches]:
     """One decoded line stream per word size appearing in the grid.
 
     Only DRAM-enabled configs consume line batches (the ideal-bandwidth
-    backend works in words, straight from the fold specs).
+    backend works in words, straight from the fold specs).  With an
+    artifact store (and a plan that carries its content address) each
+    word size's stream is served from / persisted to disk, keyed on the
+    plan key + word size, so a cold process skips the fetch-to-line
+    chop and the issue-order sort.
     """
-    return {
-        word_bytes: [
-            [prepare_line_batch(spec.fetches, word_bytes) for spec in compute.fold_specs]
-            for compute in plan.computes
-        ]
-        for word_bytes in sorted(
-            {c.arch.word_bytes for c in configs if c.dram.enabled}
-        )
-    }
+    batches: dict[int, _LineBatches] = {}
+    for word_bytes in sorted({c.arch.word_bytes for c in configs if c.dram.enabled}):
+        if store is not None and plan.store_key:
+            key = store.key(
+                "line_batches",
+                {"plan": plan.store_key, "word_bytes": word_bytes},
+            )
+            batches[word_bytes] = store.get_or_build(
+                "line_batches", key, lambda: _build_line_batches(plan, word_bytes)
+            )
+        else:
+            batches[word_bytes] = _build_line_batches(plan, word_bytes)
+    return batches
 
 
 def _resolve_config(
@@ -149,6 +167,7 @@ def simulate_many_dram(
     plan: ComputePlan,
     configs: Sequence[SystemConfig],
     workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> list[RunResult]:
     """Resolve one compute plan against a grid of memory configurations.
 
@@ -167,6 +186,9 @@ def simulate_many_dram(
         workers: process count for the per-config walks; ``1`` (the
             default) resolves serially, more fan the walks over a fork
             pool with the plan and line streams shipped once per worker.
+        store: artifact store for the shared decoded line streams;
+            defaults to the process's active store (see
+            :mod:`repro.store`).
     """
     from repro.core.simulator import plan_signature
 
@@ -181,7 +203,9 @@ def simulate_many_dram(
                 f"{signature}, plan was built for {plan.signature}; "
                 "dram.* fan-out requires an identical fold schedule"
             )
-    batches = _shared_line_batches(plan, configs)
+    batches = _shared_line_batches(
+        plan, configs, store if store is not None else active_store()
+    )
 
     if workers > 1 and len(configs) > 1:
         processes = min(workers, len(configs))

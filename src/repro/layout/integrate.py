@@ -55,6 +55,7 @@ from repro.layout.conflict_vectorized import (
     VectorizedConflictEvaluator,
 )
 from repro.layout.spec import LayoutSpec, TensorView
+from repro.store.artifact_store import active_store, canonical_artifact, content_address
 from repro.topology.layer import ConvLayer, GemmLayer, Layer
 from repro.utils.pool import pool_context
 
@@ -112,7 +113,61 @@ def _view_for_layer(layer: Layer) -> TensorView:
     raise LayoutError(f"unsupported layer type: {type(layer).__name__}")
 
 
+def fold_demand_store_key(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    max_folds: int | None,
+) -> str:
+    """Artifact-store content address of a layer's fold-demand stream.
+
+    The stream is a pure function of (layer, dataflow, array shape) —
+    no ``layout.*`` knob enters; ``max_folds`` is part of the key so
+    capped studies never alias full-layer streams.
+    """
+    return content_address(
+        "fold_demand",
+        {
+            "layer": canonical_artifact(layer),
+            "dataflow": str(dataflow),
+            "array_rows": array_rows,
+            "array_cols": array_cols,
+            "max_folds": max_folds,
+        },
+    )
+
+
 def _fold_demand_stream(
+    layer: Layer,
+    dataflow: Dataflow,
+    array_rows: int,
+    array_cols: int,
+    max_folds: int | None,
+) -> Iterator[FoldDemand]:
+    """Each fold's ifmap demand artifact, in execution order.
+
+    With an active artifact store the whole per-layer stream is served
+    from (or persisted to) disk — skipping trace generation and the
+    per-fold (cycle, offset) sort entirely on a warm run — at the cost
+    of materialising the fold list instead of streaming it.  Without a
+    store the folds stream lazily with O(one fold) memory, exactly as
+    before.
+    """
+    store = active_store()
+    if store is not None:
+        key = fold_demand_store_key(layer, dataflow, array_rows, array_cols, max_folds)
+        folds = store.get("fold_demand", key)
+        if folds is None:
+            folds = list(
+                _generate_fold_demand(layer, dataflow, array_rows, array_cols, max_folds)
+            )
+            store.put("fold_demand", key, folds)
+        return iter(folds)
+    return _generate_fold_demand(layer, dataflow, array_rows, array_cols, max_folds)
+
+
+def _generate_fold_demand(
     layer: Layer,
     dataflow: Dataflow,
     array_rows: int,

@@ -24,8 +24,10 @@ from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
 from repro.config.system import VALID_DRAM_ENGINES, VALID_LAYOUT_EVALUATORS
 from repro.core.report import write_layout_sweep_report, write_sweep_report
+from repro.run.executors import AVAILABLE_EXECUTORS, make_executor
 from repro.run.runner import run_simulation
 from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
+from repro.store.artifact_store import ArtifactStore
 from repro.topology.models import available_models, get_model
 from repro.topology.topology import Topology
 
@@ -125,6 +127,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default 1 = serial)",
     )
     parser.add_argument(
+        "--executor",
+        choices=AVAILABLE_EXECUTORS,
+        default=None,
+        help="execution backend for simulation units (default: serial, or a "
+        "process pool when --workers > 1); 'queue' spools units through "
+        "<output>/spool and drains them with a local worker",
+    )
+    parser.add_argument(
         "-p",
         "--output",
         default="outputs",
@@ -134,6 +144,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="persist simulated points here so repeated sweeps reuse them",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="content-addressed artifact store for mid-level artifacts "
+        "(compute schedules, fold-demand streams, decoded line batches); "
+        "warm stores skip the shared upstream work",
     )
     parser.add_argument(
         "--name", default="sweep", help="sweep name used for run names and the CSV"
@@ -217,7 +234,16 @@ def sweep_main(argv: list[str]) -> int:
         name=args.name,
     )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    runner = SweepRunner(workers=args.workers, cache=cache)
+    store = ArtifactStore(args.store_dir) if args.store_dir else None
+    if args.executor is not None:
+        executor = make_executor(
+            args.executor,
+            workers=args.workers,
+            spool_dir=Path(args.output) / "spool",
+        )
+        runner = SweepRunner(cache=cache, executor=executor, store=store)
+    else:
+        runner = SweepRunner(workers=args.workers, cache=cache, store=store)
     results = runner.run(spec)
 
     report = write_sweep_report(results, Path(args.output) / f"{args.name}_report.csv")
@@ -241,6 +267,8 @@ def sweep_main(argv: list[str]) -> int:
         print(f"{line}  ({origin})")
     hit_line = f"cache:    {runner.cache.hits} hits / {runner.cache.misses} misses"
     print(hit_line)
+    if store is not None:
+        print(f"store:    {store.hits} hits / {store.misses} misses")
     print(f"report:   {report}")
     if any(result.layout_results for result in results):
         layout_report = write_layout_sweep_report(

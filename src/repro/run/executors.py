@@ -1,0 +1,277 @@
+"""Pluggable sweep-execution backends (the executor seam).
+
+:class:`~repro.run.sweep.SweepRunner` used to *be* a multiprocessing
+pool; now the pool is one of several :class:`Executor` implementations
+behind a two-method seam, so the execution substrate can change — serial
+in-process, a local process pool, a spool-directory job queue, and
+eventually cross-machine sharding — without touching grouping, caching
+or result stitching:
+
+* :class:`SerialExecutor` — in-process, no pool.  The executable
+  specification every other executor must match result-for-result.
+* :class:`PoolExecutor` — today's ``multiprocessing`` pool
+  (:func:`repro.utils.pool.pool_context` fork/spawn selection),
+  including the single-unit special case: a lone fan-out group would
+  leave the pool idle, so it receives the executor's whole worker
+  budget for its internal per-config fan-outs instead.
+* :class:`QueueExecutor` — the cross-machine sharding drop-in point:
+  units are pickled to a spool directory as claimable task files and
+  results collected by polling.  :func:`process_spool` is the worker
+  loop a remote consumer would run; the default in-process worker makes
+  the executor self-contained today while pinning the on-disk protocol
+  (atomic task writes, claim-by-rename, atomic result writes) that a
+  distributed deployment relies on.
+
+The mapped function contract: ``fn(unit)`` runs one simulation unit;
+``fn(unit, workers=N)`` may be used by an executor that hands one unit
+its entire parallelism budget.  Functions must be picklable (module
+level, or :func:`functools.partial` over one) so every executor can
+ship them to workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections.abc import Callable, Sequence
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+from repro.store.artifact_store import dump_pickle_atomic, load_pickle_guarded
+from repro.utils.pool import pool_context
+
+#: Executor names selectable via the CLI's ``--executor`` flag.
+AVAILABLE_EXECUTORS = ("serial", "pool", "queue")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Maps simulation units to payload lists on some substrate."""
+
+    #: Parallelism the executor can offer a single unit's internal
+    #: fan-outs (1 for strictly serial substrates).
+    workers: int
+
+    def map_units(self, fn: Callable, units: Sequence) -> list:
+        """Run ``fn`` over every unit; results come back in unit order."""
+        ...  # pragma: no cover - protocol
+
+
+class SerialExecutor:
+    """Run every unit in-process, one after another."""
+
+    workers = 1
+
+    def map_units(self, fn: Callable, units: Sequence) -> list:
+        return [fn(unit) for unit in units]
+
+
+class PoolExecutor:
+    """Fan units out over a local ``multiprocessing`` pool.
+
+    A single unit never pays pool overhead: it runs in-process and
+    receives the executor's whole worker budget (``fn(unit,
+    workers=N)``) so a lone fan-out group parallelises internally —
+    exactly the pre-seam ``SweepRunner`` behaviour.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map_units(self, fn: Callable, units: Sequence) -> list:
+        units = list(units)
+        if not units:
+            return []
+        if self.workers == 1 or len(units) == 1:
+            return [fn(unit, workers=self.workers) for unit in units]
+        processes = min(self.workers, len(units))
+        with pool_context().Pool(processes=processes) as pool:
+            return pool.map(fn, units, chunksize=1)
+
+
+# ------------------------------------------------------------- job queue
+
+#: Spool-file suffixes of the queue protocol.
+_TASK_SUFFIX = ".task.pkl"
+_RESULT_SUFFIX = ".result.pkl"
+
+
+def _spool_task_paths(batch_dir: Path, count: int) -> list[Path]:
+    return [batch_dir / f"unit_{index:06d}{_TASK_SUFFIX}" for index in range(count)]
+
+
+def _result_path(task_path: Path) -> Path:
+    return task_path.with_name(
+        task_path.name[: -len(_TASK_SUFFIX)] + _RESULT_SUFFIX
+    )
+
+
+def process_spool(spool_dir: str | Path, max_tasks: int | None = None) -> int:
+    """One pass of the queue worker loop: claim, run, write results.
+
+    Scans every batch directory under ``spool_dir`` for unclaimed task
+    files, claims each by an atomic rename (two workers can never claim
+    the same task), executes the pickled ``(fn, unit)`` pair, and
+    writes the result atomically next to the task.  Returns the number
+    of tasks executed.  This is exactly what a remote worker process —
+    on this machine or another sharing the spool via a network
+    filesystem — runs in a loop.
+    """
+    spool_dir = Path(spool_dir)
+    executed = 0
+    if not spool_dir.exists():
+        return 0
+    for task_path in sorted(spool_dir.glob(f"*/unit_*{_TASK_SUFFIX}")):
+        if max_tasks is not None and executed >= max_tasks:
+            break
+        claim = task_path.with_name(task_path.name + f".claim.{os.getpid()}")
+        try:
+            task_path.rename(claim)
+        except OSError:
+            continue  # another worker won the claim
+        task = load_pickle_guarded(claim)
+        if task is None:
+            continue  # corrupt spool entry: dropped, producer times out
+        fn, unit = task
+        dump_pickle_atomic(_result_path(task_path), fn(unit))
+        claim.unlink(missing_ok=True)
+        executed += 1
+    return executed
+
+
+class QueueExecutor:
+    """Spool-directory executor: the sharding drop-in point.
+
+    Every ``map_units`` call creates one batch directory under the
+    spool, writes each unit as an atomic ``(fn, unit)`` task file,
+    lets workers claim tasks (:func:`process_spool`), and polls for the
+    result files.  With ``run_local_worker=True`` (the default) the
+    executor drains its own spool in-process after enqueueing — the
+    full serialize/claim/execute/collect round trip runs through disk,
+    so the on-disk protocol is exercised end to end even with no
+    external worker attached.
+
+    Args:
+        spool_dir: shared directory tasks and results flow through.
+        run_local_worker: drain the spool in-process (default); pass
+            ``False`` when external workers own execution.
+        poll_interval: seconds between result-collection scans.
+        timeout: seconds to wait for all results before raising
+            (``None`` waits indefinitely — external-worker setups).
+    """
+
+    workers = 1
+
+    def __init__(
+        self,
+        spool_dir: str | Path,
+        run_local_worker: bool = True,
+        poll_interval: float = 0.05,
+        timeout: float | None = 300.0,
+    ) -> None:
+        if poll_interval <= 0:
+            raise ConfigError(f"poll_interval must be > 0, got {poll_interval}")
+        self.spool_dir = Path(spool_dir)
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        self.run_local_worker = run_local_worker
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self._batch_serial = 0
+
+    def _new_batch_dir(self) -> Path:
+        # Pid + per-instance serial: unique across concurrent producers
+        # sharing one spool and across calls within one producer.
+        while True:
+            self._batch_serial += 1
+            batch = self.spool_dir / f"batch_{os.getpid()}_{self._batch_serial:04d}"
+            try:
+                batch.mkdir(parents=True, exist_ok=False)
+                return batch
+            except FileExistsError:  # pragma: no cover - pid reuse race
+                continue
+
+    def map_units(self, fn: Callable, units: Sequence) -> list:
+        units = list(units)
+        if not units:
+            return []
+        batch_dir = self._new_batch_dir()
+        task_paths = _spool_task_paths(batch_dir, len(units))
+        try:
+            for task_path, unit in zip(task_paths, units):
+                dump_pickle_atomic(task_path, (fn, unit))
+            if self.run_local_worker:
+                process_spool(self.spool_dir)
+            return self._collect(task_paths)
+        finally:
+            self._cleanup(batch_dir, task_paths)
+
+    def _collect(self, task_paths: list[Path]) -> list:
+        results: dict[int, object] = {}
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while len(results) < len(task_paths):
+            for index, task_path in enumerate(task_paths):
+                if index in results:
+                    continue
+                payload = load_pickle_guarded(_result_path(task_path))
+                if payload is not None:
+                    results[index] = payload
+            if len(results) == len(task_paths):
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                missing = [
+                    task_paths[i].name
+                    for i in range(len(task_paths))
+                    if i not in results
+                ]
+                raise TimeoutError(
+                    f"queue executor: {len(missing)} unit(s) not completed "
+                    f"within {self.timeout}s: {', '.join(missing[:5])}"
+                )
+            time.sleep(self.poll_interval)
+        return [results[index] for index in range(len(task_paths))]
+
+    def _cleanup(self, batch_dir: Path, task_paths: list[Path]) -> None:
+        for task_path in task_paths:
+            task_path.unlink(missing_ok=True)
+            _result_path(task_path).unlink(missing_ok=True)
+        try:
+            batch_dir.rmdir()
+        except OSError:  # pragma: no cover - stale claims left behind
+            pass
+
+
+def make_executor(
+    name: str, workers: int = 1, spool_dir: str | Path | None = None
+) -> Executor:
+    """Build an executor by CLI name.
+
+    ``serial`` ignores ``workers``; ``pool`` wraps ``workers``
+    processes; ``queue`` spools through ``spool_dir`` (required).
+    """
+    key = name.strip().lower()
+    if key == "serial":
+        return SerialExecutor()
+    if key == "pool":
+        return PoolExecutor(workers)
+    if key == "queue":
+        if spool_dir is None:
+            raise ConfigError("queue executor requires a spool directory")
+        return QueueExecutor(spool_dir)
+    raise ConfigError(
+        f"unknown executor {name!r}; available: {', '.join(AVAILABLE_EXECUTORS)}"
+    )
+
+
+__all__ = [
+    "AVAILABLE_EXECUTORS",
+    "Executor",
+    "PoolExecutor",
+    "QueueExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "process_spool",
+]

@@ -16,15 +16,19 @@ workloads.  This module turns that pattern into a first-class subsystem:
   + topology -> simulation payload).  Identical points are never
   simulated twice, within a sweep or across sweeps; an optional
   directory persists payloads on disk between processes.
-* :class:`SweepRunner` — fans cache misses out over a
-  ``multiprocessing`` pool.  Results always come back ordered by point
-  index, so a parallel sweep is bitwise-identical to a serial one.
-  Before dispatch, points are grouped by *axis class*: configs that
-  differ only in ``dram.*`` and/or ``layout.*`` fields collapse into
-  one simulation unit that shares the compute plan and trace stream
-  and resolves per-config through the DRAM / layout fan-out seams
-  (see DESIGN.md "The DRAM fan-out"); :attr:`SweepRunner.last_grouping`
-  reports the collapse.
+* :class:`SweepRunner` — fans cache misses out over a pluggable
+  :class:`~repro.run.executors.Executor` (``workers=N`` is sugar for
+  the multiprocessing :class:`~repro.run.executors.PoolExecutor`).
+  Results always come back ordered by point index, so a parallel sweep
+  is bitwise-identical to a serial one.  Before dispatch, points are
+  grouped by *axis class*: configs that differ only in ``dram.*``
+  and/or ``layout.*`` fields collapse into one simulation unit that
+  shares the compute plan and trace stream and resolves per-config
+  through the DRAM / layout fan-out seams (see DESIGN.md "The DRAM
+  fan-out"); :attr:`SweepRunner.last_grouping` reports the collapse.
+  An optional :class:`~repro.store.ArtifactStore` persists the
+  mid-level artifacts those seams share (compute schedules, fold
+  demand streams, decoded line batches) across processes and sessions.
 
 Example::
 
@@ -40,11 +44,10 @@ Example::
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import itertools
 import json
-import os
-import pickle
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
@@ -55,10 +58,16 @@ from repro.core.simulator import RunResult, Simulator
 from repro.energy.accelergy import EnergyReport
 from repro.errors import ConfigError
 from repro.layout.integrate import LayoutEvalConfig, LayoutEvalResult
+from repro.run.executors import Executor, PoolExecutor, SerialExecutor
 from repro.run.runner import run_simulation
 from repro.sparsity.sparse_compute import SparseLayerResult
+from repro.store.artifact_store import (
+    ArtifactStore,
+    dump_pickle_atomic,
+    load_pickle_guarded,
+    set_active_store,
+)
 from repro.topology.topology import Topology
-from repro.utils.pool import pool_context
 
 #: Config sections an axis may touch (the run section is metadata, not a knob).
 _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicore")
@@ -473,13 +482,17 @@ class ResultCache:
         return self._memory.get(key)
 
     def get(self, key: str) -> _PointPayload | None:
-        """Look a payload up, counting the hit or miss."""
+        """Look a payload up, counting the hit or miss.
+
+        A truncated or corrupt pickle in a shared cache directory — a
+        crashed writer, a disk error — counts as a miss and the bad
+        file is unlinked so the re-simulation repairs it
+        (:func:`repro.store.load_pickle_guarded`).
+        """
         payload = self._memory.get(key)
         if payload is None and self.directory is not None:
-            path = self.directory / f"{key}.pkl"
-            if path.exists():
-                with path.open("rb") as handle:
-                    payload = pickle.load(handle)
+            payload = load_pickle_guarded(self.directory / f"{key}.pkl")
+            if payload is not None:
                 self._memory[key] = payload
         if payload is None:
             self.misses += 1
@@ -488,16 +501,16 @@ class ResultCache:
         return payload
 
     def put(self, key: str, payload: _PointPayload) -> None:
-        """Store a payload in memory (and on disk when configured)."""
+        """Store a payload in memory (and on disk when configured).
+
+        Disk writes go through a per-process temp name + atomic replace
+        (:func:`repro.store.dump_pickle_atomic`): concurrent sweeps
+        sharing a cache directory never interleave writes or expose a
+        partial payload.
+        """
         self._memory[key] = payload
         if self.directory is not None:
-            path = self.directory / f"{key}.pkl"
-            # Per-process temp name: concurrent sweeps sharing a cache
-            # directory must not interleave writes into one temp file.
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
-            with tmp.open("wb") as handle:
-                pickle.dump(payload, handle)
-            tmp.replace(path)
+            dump_pickle_atomic(self.directory / f"{key}.pkl", payload)
 
 
 # ----------------------------------------------------------------- runner
@@ -607,30 +620,68 @@ def _grouped_units(points: list[SweepPoint], simulate_dense: bool) -> list[_Unit
 
 
 def _simulate_unit(
-    unit_args: tuple[str, tuple], workers: int = 1
+    unit_args: tuple[str, tuple],
+    workers: int = 1,
+    store: ArtifactStore | None = None,
 ) -> list[_PointPayload]:
-    """Worker entry point: run one unit (a point or a layout group)."""
+    """Worker entry point: run one unit (a point or a fan-out group).
+
+    ``store`` (bound via :func:`functools.partial` so the executor can
+    ship it to any substrate) is installed as the process's active
+    artifact store for the unit's duration — every mid-level producer
+    underneath (plan memoization, fold-demand streams, decoded line
+    batches) then persists through it.
+    """
     kind, args = unit_args
-    if kind == "point":
-        return [_simulate_point(args)]
-    return _simulate_group(args, workers=workers)
+    previous = set_active_store(store) if store is not None else None
+    try:
+        if kind == "point":
+            return [_simulate_point(args)]
+        return _simulate_group(args, workers=workers)
+    finally:
+        if store is not None:
+            set_active_store(previous)
 
 
 class SweepRunner:
-    """Execute a :class:`SweepSpec`, in parallel, through a result cache.
+    """Execute a :class:`SweepSpec` through an executor and a result cache.
 
     Args:
-        workers: process count.  ``1`` runs serially in-process; more
-            fan cache misses out over a pool.  Ordering and results are
-            identical either way.
+        workers: sugar for the default executor: ``1`` selects
+            :class:`~repro.run.executors.SerialExecutor` (in-process),
+            more a :class:`~repro.run.executors.PoolExecutor` over that
+            many processes.  Ordering and results are identical either
+            way.
         cache: shared :class:`ResultCache`; a private in-memory cache is
             created when omitted (still deduplicates within the sweep).
+        executor: explicit execution backend (mutually exclusive with
+            ``workers > 1``) — any :class:`~repro.run.executors.Executor`,
+            e.g. a :class:`~repro.run.executors.QueueExecutor` spooling
+            units to a shared directory.
+        store: optional :class:`~repro.store.ArtifactStore` persisting
+            the mid-level artifacts simulation units share (compute
+            schedules, fold-demand streams, decoded line batches); its
+            hit/miss counters cover lookups made in this process.
     """
 
-    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        executor: Executor | None = None,
+        store: ArtifactStore | None = None,
+    ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
-        self.workers = workers
+        if executor is None:
+            executor = SerialExecutor() if workers == 1 else PoolExecutor(workers)
+        elif workers != 1:
+            raise ConfigError(
+                "pass either workers (pool sugar) or an explicit executor, not both"
+            )
+        self.executor = executor
+        self.workers = getattr(executor, "workers", 1)
+        self.store = store
         self.cache = cache if cache is not None else ResultCache()
         #: ``(simulated_points, simulation_units)`` of the most recent
         #: :meth:`run` — how far axis-class grouping collapsed the
@@ -716,18 +767,12 @@ class SweepRunner:
             return []
         units = _grouped_units(points, simulate_dense)
         self.last_grouping = (len(points), len(units))
-        if self.workers == 1 or len(units) == 1:
-            # A single fan-out group would leave the pool idle — hand the
-            # runner's workers to the group's per-config evaluation.
-            unit_payloads = [
-                _simulate_unit(unit[1], workers=self.workers) for unit in units
-            ]
-        else:
-            processes = min(self.workers, len(units))
-            with pool_context().Pool(processes=processes) as pool:
-                unit_payloads = pool.map(
-                    _simulate_unit, [unit[1] for unit in units], chunksize=1
-                )
+        fn = (
+            functools.partial(_simulate_unit, store=self.store)
+            if self.store is not None
+            else _simulate_unit
+        )
+        unit_payloads = self.executor.map_units(fn, [unit[1] for unit in units])
         payloads: list[_PointPayload | None] = [None] * len(points)
         for (members, _), computed in zip(units, unit_payloads):
             for position, payload in zip(members, computed):

@@ -1,0 +1,23 @@
+"""Content-addressed persistence for mid-level simulation artifacts."""
+
+from repro.store.artifact_store import (
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    active_store,
+    canonical_artifact,
+    content_address,
+    dump_pickle_atomic,
+    load_pickle_guarded,
+    set_active_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_SCHEMA_VERSION",
+    "active_store",
+    "canonical_artifact",
+    "content_address",
+    "dump_pickle_atomic",
+    "load_pickle_guarded",
+    "set_active_store",
+]

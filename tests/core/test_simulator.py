@@ -191,3 +191,61 @@ class TestComputePlanSeam:
         assert plan.num_layers == 2
         assert plan.total_folds == sum(len(c.fold_specs) for c in plan.computes)
         assert plan.topology_name == toy_conv().name
+
+
+class TestPlanCacheSizing:
+    """The per-layer plan LRU is resizable (env var or runtime setter)."""
+
+    def teardown_method(self):
+        import repro.core.simulator as simulator
+
+        simulator.set_compute_plan_cache_size(simulator.DEFAULT_PLAN_CACHE_SIZE)
+
+    def test_default_size(self):
+        import repro.core.simulator as simulator
+
+        assert simulator.DEFAULT_PLAN_CACHE_SIZE == 64
+        assert simulator.compute_plan_cache_size() in (
+            64,
+            simulator._initial_plan_cache_size(),
+        )
+
+    def test_runtime_resize_and_clear_keep_working(self):
+        import repro.core.simulator as simulator
+
+        simulator.set_compute_plan_cache_size(2)
+        assert simulator.compute_plan_cache_size() == 2
+        Simulator(_config()).plan(toy_conv())
+        assert simulator.layer_compute.cache_info().currsize > 0
+        simulator.clear_compute_plan_cache()
+        assert simulator.layer_compute.cache_info().currsize == 0
+        simulator.set_compute_plan_cache_size(None)  # unbounded
+        assert simulator.compute_plan_cache_size() is None
+
+    def test_resize_rejects_nonpositive(self):
+        from repro.core.simulator import set_compute_plan_cache_size
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            set_compute_plan_cache_size(0)
+
+    def test_env_var_controls_initial_size(self, monkeypatch):
+        import repro.core.simulator as simulator
+
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "7")
+        assert simulator._initial_plan_cache_size() == 7
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "not-a-number")
+        assert simulator._initial_plan_cache_size() == simulator.DEFAULT_PLAN_CACHE_SIZE
+        monkeypatch.setenv("REPRO_PLAN_CACHE_SIZE", "-3")
+        assert simulator._initial_plan_cache_size() == simulator.DEFAULT_PLAN_CACHE_SIZE
+        monkeypatch.delenv("REPRO_PLAN_CACHE_SIZE")
+        assert simulator._initial_plan_cache_size() == simulator.DEFAULT_PLAN_CACHE_SIZE
+
+    def test_tiny_cache_still_correct(self):
+        import repro.core.simulator as simulator
+
+        simulator.set_compute_plan_cache_size(1)
+        sim = Simulator(_config())
+        first = sim.plan(toy_conv())
+        second = sim.plan(toy_conv())
+        assert first.computes == second.computes

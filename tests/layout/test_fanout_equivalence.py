@@ -245,3 +245,41 @@ def test_mixed_view_layouts_never_share_decodes():
         for cfg in configs
     ]
     assert many == independent
+
+
+def test_store_backed_fanout_is_bit_identical_cold_and_warm(tmp_path):
+    """Randomized grids with the fold-demand stream store-backed.
+
+    A cold store materialises and persists each layer's fold-demand
+    stream; a warm store serves it from disk.  Both must be
+    bit-identical to the storeless fan-out (and hence, transitively, to
+    independent calls).
+    """
+    from repro.store.artifact_store import ArtifactStore, set_active_store
+
+    store = ArtifactStore(tmp_path / "store")
+    for trial in range(6):
+        rng = random.Random(52_000 + 11 * trial)
+        layer = _conv(rng) if rng.random() < 0.5 else _gemm(rng)
+        dataflow = rng.choice(("ws", "is", "os"))
+        array = rng.choice((4, 8))
+        configs = _random_grid(rng, _view_for(layer))
+        max_folds = rng.choice((None, 3))
+
+        reference = evaluate_layout_slowdown_many(
+            layer, dataflow, array, array, configs, max_folds=max_folds
+        )
+        previous = set_active_store(store)
+        try:
+            cold = evaluate_layout_slowdown_many(
+                layer, dataflow, array, array, configs, max_folds=max_folds
+            )
+            warm = evaluate_layout_slowdown_many(
+                layer, dataflow, array, array, configs, max_folds=max_folds
+            )
+        finally:
+            set_active_store(previous)
+        assert cold == reference, trial
+        assert warm == reference, trial
+    # Each trial's second pass served its stream from disk.
+    assert store.hits >= 6

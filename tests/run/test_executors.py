@@ -1,0 +1,197 @@
+"""Unit tests for the pluggable sweep-execution backends (repro.run.executors)."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.run.executors import (
+    AVAILABLE_EXECUTORS,
+    Executor,
+    PoolExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    _result_path,
+    _spool_task_paths,
+    make_executor,
+    process_spool,
+)
+from repro.config.system import RunConfig, SystemConfig
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
+from repro.store.artifact_store import dump_pickle_atomic
+from repro.topology.models import toy_gemm
+
+
+def _base() -> SystemConfig:
+    return SystemConfig(run=RunConfig(run_name="unit_executors"))
+
+
+def _spec(**kwargs) -> SweepSpec:
+    defaults = dict(
+        base=_base(),
+        axes=[Axis("arch.dataflow", ("os", "ws"))],
+        topologies=[toy_gemm()],
+        name="unit",
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+def _double(unit, workers=1):
+    """Module-level mapped function so every executor can pickle it."""
+    return unit * 2
+
+
+def _double_times_workers(unit, workers=1):
+    return unit * 2 * workers
+
+
+def test_executor_protocol_matches_implementations(tmp_path):
+    assert isinstance(SerialExecutor(), Executor)
+    assert isinstance(PoolExecutor(2), Executor)
+    assert isinstance(QueueExecutor(tmp_path), Executor)
+
+
+def test_serial_executor_maps_in_order():
+    executor = SerialExecutor()
+    assert executor.workers == 1
+    assert executor.map_units(_double, [1, 2, 3]) == [2, 4, 6]
+    assert executor.map_units(_double, []) == []
+
+
+def test_pool_executor_validates_workers():
+    with pytest.raises(ConfigError):
+        PoolExecutor(0)
+
+
+def test_pool_executor_maps_in_order():
+    executor = PoolExecutor(2)
+    assert executor.map_units(_double, [1, 2, 3, 4]) == [2, 4, 6, 8]
+    assert executor.map_units(_double, []) == []
+
+
+def test_pool_executor_single_unit_gets_whole_budget():
+    # A lone unit runs in-process and receives the full worker budget
+    # (the pre-seam SweepRunner special case for one fan-out group).
+    executor = PoolExecutor(4)
+    assert executor.map_units(_double_times_workers, [3]) == [24]
+
+
+def test_pool_executor_workers_one_is_serial():
+    executor = PoolExecutor(1)
+    assert executor.map_units(_double_times_workers, [1, 2]) == [2, 4]
+
+
+def test_queue_executor_roundtrips_through_spool(tmp_path):
+    executor = QueueExecutor(tmp_path / "spool")
+    assert executor.map_units(_double, [5, 6, 7]) == [10, 12, 14]
+    # Batch dirs are cleaned up after collection.
+    assert list((tmp_path / "spool").iterdir()) == []
+
+
+def test_queue_executor_multiple_batches(tmp_path):
+    executor = QueueExecutor(tmp_path)
+    assert executor.map_units(_double, [1]) == [2]
+    assert executor.map_units(_double, [2, 3]) == [4, 6]
+
+
+def test_queue_executor_external_worker(tmp_path):
+    # Simulate a remote worker: enqueue without the local worker, drain
+    # via process_spool (what the remote loop runs), then collect.
+    spool = tmp_path / "spool"
+    producer = QueueExecutor(spool, run_local_worker=False, timeout=10.0)
+    batch_dir = producer._new_batch_dir()
+    task_paths = _spool_task_paths(batch_dir, 3)
+    for task_path, unit in zip(task_paths, [7, 8, 9]):
+        dump_pickle_atomic(task_path, (_double, unit))
+    assert process_spool(spool) == 3
+    assert producer._collect(task_paths) == [14, 16, 18]
+
+
+def test_process_spool_respects_max_tasks_and_claims(tmp_path):
+    batch = tmp_path / f"batch_{os.getpid()}_0001"
+    batch.mkdir()
+    task_paths = _spool_task_paths(batch, 4)
+    for task_path, unit in zip(task_paths, range(4)):
+        dump_pickle_atomic(task_path, (_double, unit))
+    assert process_spool(tmp_path, max_tasks=2) == 2
+    assert process_spool(tmp_path) == 2  # the rest; claimed tasks stay claimed
+    for index, task_path in enumerate(task_paths):
+        result = pickle.loads(_result_path(task_path).read_bytes())
+        assert result == index * 2
+
+
+def test_process_spool_missing_dir_is_noop(tmp_path):
+    assert process_spool(tmp_path / "nowhere") == 0
+
+
+def test_queue_executor_timeout(tmp_path):
+    executor = QueueExecutor(
+        tmp_path, run_local_worker=False, poll_interval=0.01, timeout=0.05
+    )
+    with pytest.raises(TimeoutError, match="not completed"):
+        executor.map_units(_double, [1, 2])
+
+
+def test_queue_executor_validates_poll_interval(tmp_path):
+    with pytest.raises(ConfigError):
+        QueueExecutor(tmp_path, poll_interval=0.0)
+
+
+def test_make_executor_by_name(tmp_path):
+    assert set(AVAILABLE_EXECUTORS) == {"serial", "pool", "queue"}
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    pool = make_executor("pool", workers=3)
+    assert isinstance(pool, PoolExecutor) and pool.workers == 3
+    queue = make_executor("queue", spool_dir=tmp_path)
+    assert isinstance(queue, QueueExecutor)
+    with pytest.raises(ConfigError, match="spool"):
+        make_executor("queue")
+    with pytest.raises(ConfigError, match="unknown executor"):
+        make_executor("slurm")
+
+
+# ------------------------------------------------- SweepRunner integration
+
+
+def test_runner_workers_is_pool_sugar():
+    serial = SweepRunner()
+    assert isinstance(serial.executor, SerialExecutor)
+    pooled = SweepRunner(workers=3)
+    assert isinstance(pooled.executor, PoolExecutor)
+    assert pooled.workers == 3
+
+
+def test_runner_rejects_executor_plus_workers():
+    with pytest.raises(ConfigError, match="not both"):
+        SweepRunner(workers=2, executor=SerialExecutor())
+
+
+def test_runner_explicit_executors_match_serial(tmp_path):
+    spec = _spec()
+    reference = SweepRunner().run(spec)
+    for executor in (PoolExecutor(2), QueueExecutor(tmp_path / "spool")):
+        results = SweepRunner(executor=executor).run(_spec())
+        assert len(results) == len(reference)
+        for got, want in zip(results, reference):
+            assert got.total_cycles == want.total_cycles
+            assert got.total_stall_cycles == want.total_stall_cycles
+            assert got.run_result == want.run_result
+
+
+def test_runner_queue_executor_with_groups(tmp_path):
+    # dram.* axes collapse into one fan-out group; the group unit must
+    # survive the spool's pickle round trip.
+    spec = SweepSpec(
+        base=_base(),
+        axes=[Axis("dram.channels", (1, 2, 4))],
+        topologies=[toy_gemm()],
+        name="queue_group",
+    )
+    reference = SweepRunner().run(spec)
+    runner = SweepRunner(executor=QueueExecutor(tmp_path))
+    results = runner.run(spec)
+    assert runner.last_grouping == (3, 1)
+    for got, want in zip(results, reference):
+        assert got.run_result == want.run_result

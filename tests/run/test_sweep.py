@@ -614,3 +614,113 @@ class TestSweepCliLayoutReport:
         assert report.exists()
         assert str(report) in out
         assert report.read_text().startswith("PointID,LayerID,LayerName,Dataflow")
+
+
+class TestArtifactStoreIntegration:
+    """SweepRunner(store=...) must never change results — only reuse work."""
+
+    def _report_bytes(self, tmp_path, name, store=None):
+        from repro.core.simulator import clear_compute_plan_cache
+
+        clear_compute_plan_cache()
+        runner = SweepRunner(store=store)
+        spec = SweepSpec(
+            base=_base(),
+            axes=[Axis("arch.dataflow", ("os", "ws")), Axis("dram.channels", (1, 2))],
+            topologies=[toy_gemm(), toy_conv()],
+            name="store_equiv",
+        )
+        results = runner.run(spec)
+        path = tmp_path / f"{name}.csv"
+        write_sweep_report(results, path)
+        return path.read_bytes()
+
+    def test_report_csv_identical_with_and_without_store(self, tmp_path):
+        from repro.store.artifact_store import ArtifactStore
+
+        reference = self._report_bytes(tmp_path, "no_store")
+        store = ArtifactStore(tmp_path / "store")
+        cold = self._report_bytes(tmp_path, "cold", store=store)
+        assert store.misses > 0  # the cold run populated the store
+        warm = self._report_bytes(tmp_path, "warm", store=store)
+        assert store.hits > 0  # the warm run actually served from it
+        assert cold == reference
+        assert warm == reference
+
+    def test_store_survives_pool_workers(self, tmp_path):
+        from repro.core.simulator import clear_compute_plan_cache
+        from repro.store.artifact_store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        spec = _spec(axes=[Axis("arch.dataflow", ("os", "ws", "is"))])
+        reference = SweepRunner().run(_spec(axes=[Axis("arch.dataflow", ("os", "ws", "is"))]))
+        # Fork workers inherit the warm in-process plan LRU; clear it so
+        # their lookups actually reach (and populate) the shared store.
+        clear_compute_plan_cache()
+        results = SweepRunner(workers=2, store=store).run(spec)
+        for got, want in zip(results, reference):
+            assert got.run_result == want.run_result
+        # Workers persisted artifacts even though their counters are lost.
+        assert list((tmp_path / "store").glob("layer_compute/*.pkl"))
+
+    def test_active_store_restored_after_unit(self, tmp_path):
+        from repro.store.artifact_store import ArtifactStore, active_store
+
+        assert active_store() is None
+        SweepRunner(store=ArtifactStore(tmp_path)).run(_spec())
+        assert active_store() is None
+
+
+class TestCliExecutorAndStore:
+    def _argv(self, tmp_path, *extra):
+        return [
+            "sweep",
+            "--preset",
+            "scale_sim_v2_default",
+            "--model",
+            "toy_gemm",
+            "--set",
+            "dram.channels=1,2",
+            "-p",
+            str(tmp_path),
+            *extra,
+        ]
+
+    def test_store_dir_prints_stats_and_reuses(self, tmp_path, capsys):
+        from repro.core.simulator import clear_compute_plan_cache
+
+        argv = self._argv(tmp_path, "--store-dir", str(tmp_path / "store"))
+        clear_compute_plan_cache()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "store:    0 hits /" in out
+        clear_compute_plan_cache()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "store:" in out and " 0 misses" in out
+
+    def test_executor_serial_matches_default(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--name", "default")) == 0
+        capsys.readouterr()
+        assert main(self._argv(tmp_path, "--name", "serial", "--executor", "serial")) == 0
+        default = (tmp_path / "default_report.csv").read_text()
+        serial = (tmp_path / "serial_report.csv").read_text()
+        # Reports differ only in the run-name column derived from --name.
+        assert default.replace("default_", "") == serial.replace("serial_", "")
+
+    def test_executor_queue_spools_and_matches(self, tmp_path, capsys):
+        assert main(self._argv(tmp_path, "--name", "plain")) == 0
+        capsys.readouterr()
+        code = main(self._argv(tmp_path, "--name", "queued", "--executor", "queue"))
+        assert code == 0
+        assert "queued (2 points" in capsys.readouterr().out
+        plain = (tmp_path / "plain_report.csv").read_text()
+        queued = (tmp_path / "queued_report.csv").read_text()
+        assert plain.replace("plain_", "") == queued.replace("queued_", "")
+
+    def test_executor_pool_name(self, tmp_path, capsys):
+        code = main(
+            self._argv(tmp_path, "--executor", "pool", "--workers", "2", "--name", "pooled")
+        )
+        assert code == 0
+        assert (tmp_path / "pooled_report.csv").exists()
