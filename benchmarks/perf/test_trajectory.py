@@ -59,6 +59,40 @@ def test_committed_markdown_covers_baselines():
         assert f"| {name} |" in text, name
 
 
+def test_gates_are_folded_into_trajectory():
+    """Every harness gate constant lands in the trajectory's gates map."""
+    benches = build_trajectory()["benches"]
+    dram_gates = benches["dram_fanout"]["gates"]
+    assert "dram_grid.required_speedup" in dram_gates
+    assert "cross_grid.required_speedup" in dram_gates
+    assert dram_gates["dram_grid.required_speedup"] >= 2.0
+
+
+def test_gate_bumps_are_monotonic():
+    """A committed gate can only move upward.
+
+    The committed TRAJECTORY.json records each harness's
+    ``required_*`` floors; a regenerated trajectory whose gate is
+    *below* the committed one means a gate was silently relaxed —
+    exactly the regression this assertion exists to catch.  (New gates
+    may appear; existing ones may rise.)
+    """
+    committed_path = PERF_DIR / "TRAJECTORY.json"
+    assert committed_path.exists(), "run benchmarks/perf/trajectory.py and commit"
+    committed = json.loads(committed_path.read_text())
+    fresh = build_trajectory()
+    for name, bench in fresh["benches"].items():
+        committed_gates = committed["benches"].get(name, {}).get("gates", {})
+        for key, floor in committed_gates.items():
+            current = bench["gates"].get(key)
+            assert current is not None, (
+                f"{name}.{key}: gate removed (committed floor {floor})"
+            )
+            assert current >= floor, (
+                f"{name}.{key}: gate regressed {floor} -> {current}"
+            )
+
+
 def test_committed_trajectory_covers_baselines():
     """TRAJECTORY.json is committed and structurally current.
 

@@ -43,8 +43,8 @@ from repro.core.report import (
     write_compute_report,
     write_detailed_report,
 )
-from repro.dram.backend import DramBackend
-from repro.dram.dram_sim import DramStats, RamulatorLite
+from repro.dram.backend import DramBackend, make_ramulator
+from repro.dram.dram_sim import DramStats
 from repro.errors import ConfigError
 from repro.memory.double_buffer import (
     DoubleBufferMemory,
@@ -360,16 +360,8 @@ def make_memory_backend(config: SystemConfig) -> MemoryBackend:
     """
     if config.dram.enabled:
         dram_cfg = config.dram
-        dram = RamulatorLite(
-            technology=dram_cfg.technology,
-            channels=dram_cfg.channels,
-            ranks_per_channel=dram_cfg.ranks_per_channel,
-            banks_per_rank=dram_cfg.banks_per_rank,
-            capacity_gb_per_channel=dram_cfg.capacity_gb_per_channel,
-            address_mapping=dram_cfg.address_mapping,
-        )
         return DramBackend(
-            dram,
+            make_ramulator(dram_cfg),
             read_queue_entries=dram_cfg.read_queue_entries,
             write_queue_entries=dram_cfg.write_queue_entries,
             word_bytes=config.arch.word_bytes,

@@ -23,6 +23,7 @@ from repro.dram.engine_batched import (
     issue_order_arrays,
     prepare_line_batch,
 )
+from repro.dram.engine_grid import GridBatchedEngine, resolve_plan_grid
 from repro.dram.fanout import simulate_many_dram
 
 __all__ = [
@@ -44,6 +45,8 @@ __all__ = [
     "PreparedLineBatch",
     "issue_order_arrays",
     "prepare_line_batch",
+    "GridBatchedEngine",
+    "resolve_plan_grid",
     "make_engine",
     "simulate_many_dram",
 ]

@@ -15,10 +15,33 @@ vectorized batched engine).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.compute_sim import TileFetch
 from repro.dram.dram_sim import DramStats, RamulatorLite
 from repro.dram.engine import LineRequestBatch, MemoryEngine, make_engine
 from repro.errors import DramError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config.system import DramConfig
+
+
+def make_ramulator(dram_cfg: "DramConfig") -> RamulatorLite:
+    """A fresh :class:`RamulatorLite` for one ``[memory]`` section.
+
+    The single place a :class:`~repro.config.system.DramConfig` turns
+    into DRAM timing/geometry state — used by the simulator's backend
+    factory and by the grid-batched engine when it instantiates its
+    per-config datapaths.
+    """
+    return RamulatorLite(
+        technology=dram_cfg.technology,
+        channels=dram_cfg.channels,
+        ranks_per_channel=dram_cfg.ranks_per_channel,
+        banks_per_rank=dram_cfg.banks_per_rank,
+        capacity_gb_per_channel=dram_cfg.capacity_gb_per_channel,
+        address_mapping=dram_cfg.address_mapping,
+    )
 
 
 class DramBackend:

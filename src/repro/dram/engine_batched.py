@@ -273,15 +273,29 @@ class BatchedEngine:
         if total == 0:
             self._issue_clock = clock0
             return BatchResult(ready_cycle=clock0, lines_read=0, lines_written=0)
-        if self.single_stream_fast_path:
-            result = self._process_single_stream(batch, clock0, total)
-            if result is None and total > self.read_queue.capacity:
-                result = self._process_single_stream_saturated(batch, clock0, total)
-            if result is not None:
-                return result
+        result = self._try_fast_paths(batch, clock0, total)
+        if result is not None:
+            return result
         if total < self.vector_threshold:
             return self._process_scalar(batch, clock0)
         return self._process_vector(batch, clock0)
+
+    def _try_fast_paths(
+        self, batch: LineRequestBatch, clock0: int, total: int
+    ) -> BatchResult | None:
+        """Attempt the closed-form single-stream paths; ``None`` declines.
+
+        Factored out of :meth:`process_batch` so the grid-batched engine
+        (:mod:`repro.dram.engine_grid`) can peel off the configs these
+        O(streaks) paths accept before its shared vector pass — the
+        guards and commits are per-config state anyway.
+        """
+        if not self.single_stream_fast_path:
+            return None
+        result = self._process_single_stream(batch, clock0, total)
+        if result is None and total > self.read_queue.capacity:
+            result = self._process_single_stream_saturated(batch, clock0, total)
+        return result
 
     def drain(self) -> int:
         """Cycle when every in-flight read and write has completed."""

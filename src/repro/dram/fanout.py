@@ -15,14 +15,23 @@ against every memory configuration of a grid:
   fetch-to-64B-line chop plus the round-robin issue order the vector
   engine would otherwise rematerialize per config (mirroring the
   ``prime_key_lut`` sharing of the layout fan-out);
-* ``workers > 1`` fans the per-config stall-resolution walks over a
-  fork pool (:func:`repro.utils.pool.pool_context`), shipping the plan
-  and the shared streams to each worker once via the pool initializer.
+* batched-engine configs sharing a word size resolve *together*: one
+  :class:`~repro.dram.engine_grid.GridBatchedEngine` pass walks the
+  whole grid's stalls per line batch instead of one config at a time
+  (the fifth engine-seam instance — see
+  :mod:`repro.dram.engine_grid`);
+* ``workers > 1`` splits the grid over a worker pool
+  (:func:`repro.utils.pool.pool_context`); each worker runs the same
+  serial resolver — grid passes included — on its share of the
+  configs.  Under ``fork`` the plan and streams are inherited zero-copy
+  via the pool initializer; under ``spawn`` each worker is shipped only
+  the line streams for the word sizes its configs actually use.
 
 Results are bit-identical to ``Simulator(config).run(topology)`` per
-config — enforced by ``tests/dram/test_dram_fanout_equivalence.py``.
-The sweep runner (:mod:`repro.run.sweep`) dispatches groups of points
-that differ only in ``dram.*`` / ``layout.*`` axes through this seam.
+config — enforced by ``tests/dram/test_dram_fanout_equivalence.py`` and
+``tests/dram/test_grid_engine_equivalence.py``.  The sweep runner
+(:mod:`repro.run.sweep`) dispatches groups of points that differ only
+in ``dram.*`` / ``layout.*`` axes through this seam.
 """
 
 from __future__ import annotations
@@ -100,10 +109,51 @@ def _resolve_config(
     )
 
 
+def _grid_groups(configs: Sequence[SystemConfig]) -> dict[int, list[int]]:
+    """Indices of batched-engine DRAM configs, grouped by word size.
+
+    Only groups of two or more resolve through the grid engine —
+    a lone config gains nothing from the config axis, and reference /
+    custom engines and DRAM-disabled points keep the per-config path.
+    """
+    groups: dict[int, list[int]] = {}
+    for index, config in enumerate(configs):
+        if config.dram.enabled and config.dram.engine == "batched":
+            groups.setdefault(config.arch.word_bytes, []).append(index)
+    return {word: members for word, members in groups.items() if len(members) > 1}
+
+
+def _resolve_serial(
+    plan: ComputePlan,
+    configs: Sequence[SystemConfig],
+    batches: dict[int, _LineBatches],
+) -> list[RunResult]:
+    """Resolve a grid in-process: grid passes first, stragglers alone."""
+    from repro.dram.engine_grid import resolve_plan_grid
+
+    results: list[RunResult | None] = [None] * len(configs)
+    grid_members: set[int] = set()
+    for word_bytes, members in sorted(_grid_groups(configs).items()):
+        grid_members.update(members)
+        for index, result in zip(
+            members,
+            resolve_plan_grid(
+                plan, [configs[i] for i in members], batches[word_bytes]
+            ),
+        ):
+            results[index] = result
+    for index, config in enumerate(configs):
+        if index not in grid_members:
+            results[index] = _resolve_config(
+                plan, config, batches.get(config.arch.word_bytes)
+            )
+    return results  # type: ignore[return-value]
+
+
 # --------------------------------------------------------------- worker pool
 
-#: Installed once per worker by the pool initializer: the plan plus the
-#: shared per-word-size line streams (zero-copy under fork).
+#: Installed once per fork worker by the pool initializer: the plan plus
+#: the shared per-word-size line streams (inherited zero-copy).
 _WORKER_PLAN: ComputePlan | None = None
 _WORKER_BATCHES: dict[int, _LineBatches] = {}
 
@@ -114,8 +164,8 @@ def _fanout_init(plan: ComputePlan, batches: dict[int, _LineBatches]) -> None:
     _WORKER_BATCHES = batches
 
 
-def _fanout_config(config: SystemConfig) -> tuple:
-    """Worker entry point: resolve one config, return the slim outcome.
+def _slim(result: RunResult) -> tuple:
+    """Strip a RunResult to what the parent can't reconstruct.
 
     The full :class:`RunResult` embeds the plan's compute records
     (thousands of fold specs); shipping those back through the pipe per
@@ -123,10 +173,6 @@ def _fanout_config(config: SystemConfig) -> tuple:
     per-layer timelines + counters and the parent reattaches the plan's
     computes — reconstructing a bit-identical ``RunResult``.
     """
-    assert _WORKER_PLAN is not None
-    result = _resolve_config(
-        _WORKER_PLAN, config, _WORKER_BATCHES.get(config.arch.word_bytes)
-    )
     return (
         [
             (layer.timeline, layer.backpressure_stall_cycles, layer.drain_cycles)
@@ -134,6 +180,29 @@ def _fanout_config(config: SystemConfig) -> tuple:
         ],
         result.dram_stats,
     )
+
+
+def _fanout_chunk_shared(configs: list[SystemConfig]) -> list[tuple]:
+    """Fork-worker entry point: resolve one chunk against inherited state."""
+    assert _WORKER_PLAN is not None
+    return [
+        _slim(result)
+        for result in _resolve_serial(_WORKER_PLAN, configs, _WORKER_BATCHES)
+    ]
+
+
+def _fanout_chunk(
+    plan: ComputePlan,
+    configs: list[SystemConfig],
+    batches: dict[int, _LineBatches],
+) -> list[tuple]:
+    """Spawn-worker entry point: everything arrives as task arguments.
+
+    ``batches`` is pre-sliced by the parent to the word sizes this
+    chunk's configs actually use, so a spawn pool never pickles line
+    streams a worker would ignore.
+    """
+    return [_slim(result) for result in _resolve_serial(plan, configs, batches)]
 
 
 def _rebuild_result(
@@ -180,12 +249,18 @@ def simulate_many_dram(
     in ``configs`` order, each bit-identical to
     ``Simulator(config).run(topology)`` for the planned topology.
 
+    Batched-engine configs sharing a word size resolve through one
+    :class:`~repro.dram.engine_grid.GridBatchedEngine` pass per line
+    batch; other configs (reference engines, DRAM-disabled points)
+    resolve one at a time.
+
     Args:
         plan: the shared compute plan (:meth:`Simulator.plan`).
         configs: memory configurations to fan out over.
-        workers: process count for the per-config walks; ``1`` (the
-            default) resolves serially, more fan the walks over a fork
-            pool with the plan and line streams shipped once per worker.
+        workers: process count; ``1`` (the default) resolves in-process,
+            more split the configs round-robin over a worker pool, each
+            chunk resolved by the same serial path (grid passes
+            included).
         store: artifact store for the shared decoded line streams;
             defaults to the process's active store (see
             :mod:`repro.store`).
@@ -209,19 +284,31 @@ def simulate_many_dram(
 
     if workers > 1 and len(configs) > 1:
         processes = min(workers, len(configs))
-        with pool_context().Pool(
-            processes=processes, initializer=_fanout_init, initargs=(plan, batches)
-        ) as pool:
-            reduced = pool.map(_fanout_config, configs, chunksize=1)
-        return [
-            _rebuild_result(plan, config, outcome)
-            for config, outcome in zip(configs, reduced)
-        ]
+        chunk_indices = [list(range(i, len(configs), processes)) for i in range(processes)]
+        chunks = [[configs[i] for i in chunk] for chunk in chunk_indices]
+        context = pool_context()
+        if context.get_start_method() == "fork":
+            with context.Pool(
+                processes=processes,
+                initializer=_fanout_init,
+                initargs=(plan, batches),
+            ) as pool:
+                outcomes = pool.map(_fanout_chunk_shared, chunks, chunksize=1)
+        else:
+            tasks = []
+            for chunk in chunks:
+                words = {c.arch.word_bytes for c in chunk if c.dram.enabled}
+                needed = {w: b for w, b in batches.items() if w in words}
+                tasks.append((plan, chunk, needed))
+            with context.Pool(processes=processes) as pool:
+                outcomes = pool.starmap(_fanout_chunk, tasks, chunksize=1)
+        results: list[RunResult | None] = [None] * len(configs)
+        for chunk, chunk_outcomes in zip(chunk_indices, outcomes):
+            for index, outcome in zip(chunk, chunk_outcomes):
+                results[index] = _rebuild_result(plan, configs[index], outcome)
+        return results  # type: ignore[return-value]
 
-    return [
-        _resolve_config(plan, config, batches.get(config.arch.word_bytes))
-        for config in configs
-    ]
+    return _resolve_serial(plan, configs, batches)
 
 
 __all__ = ["simulate_many_dram"]

@@ -253,6 +253,16 @@ def sweep_main(argv: list[str]) -> int:
         simulated, units = runner.last_grouping
         unit_word = "unit" if units == 1 else "units"
         print(f"grouping: {simulated} points -> {units} simulation {unit_word}")
+        for number, fanout in enumerate(runner.last_grouping.units):
+            detail = f"  unit {number}: {fanout.points} points"
+            if fanout.word_streams:
+                stream_word = "stream" if fanout.word_streams == 1 else "streams"
+                detail += f", {fanout.word_streams} word-size line {stream_word}"
+            if fanout.grid_configs:
+                detail += (
+                    f", {fanout.grid_configs} DRAM configs per grid pass"
+                )
+            print(detail)
     for result in results:
         knobs = "  ".join(
             f"{name}={result.assignment_dict[name]}" for name in axis_names

@@ -571,6 +571,55 @@ class SweepResult:
 _Unit = tuple[list[int], tuple[str, tuple]]
 
 
+@dataclass(frozen=True)
+class UnitFanout:
+    """Fan-out detail of one simulation unit (one :class:`SweepGrouping` entry).
+
+    ``points`` is how many grid points the unit collapsed; ``word_streams``
+    how many distinct word-size line streams it decodes (0 when no member
+    enables DRAM); ``grid_configs`` how many DRAM configs resolve through
+    config-batched :class:`~repro.dram.engine_grid.GridBatchedEngine`
+    passes rather than one at a time (0 when no word size is shared by
+    two or more batched-engine configs).
+    """
+
+    points: int
+    word_streams: int
+    grid_configs: int
+
+
+class SweepGrouping(tuple):
+    """``(simulated_points, simulation_units)`` plus per-unit detail.
+
+    A tuple subclass so every existing consumer of
+    :attr:`SweepRunner.last_grouping` — including equality against a
+    plain 2-tuple — keeps working; :attr:`units` adds one
+    :class:`UnitFanout` per simulation unit in dispatch order.
+    """
+
+    units: tuple[UnitFanout, ...]
+
+    def __new__(
+        cls, points: int, unit_count: int, units: tuple[UnitFanout, ...] = ()
+    ) -> SweepGrouping:
+        self = tuple.__new__(cls, (points, unit_count))
+        self.units = units
+        return self
+
+
+def _unit_fanout(unit: _Unit) -> UnitFanout:
+    """Summarize how one dispatched unit will fan out internally."""
+    from repro.dram.fanout import _grid_groups
+
+    members, (kind, args) = unit
+    configs = [args[0]] if kind == "point" else args[0]
+    words = {c.arch.word_bytes for c in configs if c.dram.enabled}
+    grid_configs = sum(len(group) for group in _grid_groups(configs).values())
+    return UnitFanout(
+        points=len(members), word_streams=len(words), grid_configs=grid_configs
+    )
+
+
 def _grouped_units(points: list[SweepPoint], simulate_dense: bool) -> list[_Unit]:
     """Partition points into fan-out groups and singleton units.
 
@@ -687,13 +736,14 @@ class SweepRunner:
         #: :meth:`run` — how far axis-class grouping collapsed the
         #: points that actually simulated (cache hits and duplicates
         #: never form units; a fully-cached run is ``(0, 0)``).
-        #: ``None`` before any run.
-        self.last_grouping: tuple[int, int] | None = None
+        #: A :class:`SweepGrouping`, so per-unit fan-out detail rides
+        #: along in ``last_grouping.units``.  ``None`` before any run.
+        self.last_grouping: SweepGrouping | None = None
 
     def run(self, spec: SweepSpec) -> list[SweepResult]:
         """Run every grid point; results come back ordered by index."""
         points = spec.expand()
-        self.last_grouping = (0, 0)
+        self.last_grouping = SweepGrouping(0, 0)
         keys = [
             self.cache.key(point.config, point.topology, spec.simulate_dense)
             for point in points
@@ -766,7 +816,9 @@ class SweepRunner:
         if not points:
             return []
         units = _grouped_units(points, simulate_dense)
-        self.last_grouping = (len(points), len(units))
+        self.last_grouping = SweepGrouping(
+            len(points), len(units), tuple(_unit_fanout(unit) for unit in units)
+        )
         fn = (
             functools.partial(_simulate_unit, store=self.store)
             if self.store is not None
@@ -795,10 +847,12 @@ def single_point(
 __all__ = [
     "Axis",
     "ResultCache",
+    "SweepGrouping",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "UnitFanout",
     "apply_override",
     "content_key",
     "single_point",

@@ -6,7 +6,11 @@ statistics — across mixed grids of engines, channel counts, queue
 depths, technologies, address mappings, issue rates and word sizes
 (configs sharing a word size share one decoded line stream), with
 DRAM-disabled ideal-bandwidth points mixed in, serially and across a
-worker pool.
+worker pool.  Batched-engine configs sharing a word size resolve
+through one config-batched ``GridBatchedEngine`` pass (see
+``tests/dram/test_grid_engine_equivalence.py`` for the engine-level
+fuzz); the grids here mix in reference engines and disabled points so
+the grouped and per-config paths are exercised side by side.
 """
 
 import dataclasses
@@ -137,6 +141,33 @@ def test_randomized_grids_are_bit_exact():
         fanout = simulate_many_dram(plan, configs)
         independent = [Simulator(config).run(topology) for config in configs]
         _assert_results_equal(fanout, independent, trial)
+
+
+def test_grid_engaged_fanout_matches_independent():
+    """Trials where the config-batched grid pass actually engages stay exact.
+
+    ``test_randomized_grids_are_bit_exact`` draws grids where the grid
+    engine may or may not form a group; this variant keeps only trials
+    with at least one multi-config group, so the grid path inside
+    ``simulate_many_dram`` is provably on the line being compared.
+    """
+    from repro.dram.fanout import _grid_groups
+
+    engaged = 0
+    for trial in range(14):
+        rng = random.Random(23_500 + 11 * trial)
+        topology = _random_topology(rng)
+        arch = _random_arch(rng)
+        configs = _random_grid(rng, arch)
+        groups = _grid_groups(configs)
+        if not groups:
+            continue
+        plan = Simulator(configs[0]).plan(topology)
+        fanout = simulate_many_dram(plan, configs)
+        independent = [Simulator(config).run(topology) for config in configs]
+        _assert_results_equal(fanout, independent, ("grid", trial))
+        engaged += 1
+    assert engaged >= 4
 
 
 def test_parallel_fanout_matches_serial():

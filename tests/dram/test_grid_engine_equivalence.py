@@ -1,0 +1,167 @@
+"""Grid-engine equivalence: one config-batched pass == per-config runs.
+
+:func:`repro.dram.engine_grid.resolve_plan_grid` resolves every
+batched-engine DRAM config of a grid in one vectorized pass per line
+batch (queue/bank/channel state carries a leading config axis).  Its
+results must be *bit-exact* to one ``Simulator.run`` per config — same
+timelines, same backpressure/drain accounting, same DRAM statistics —
+across mixed technologies, queue depths, channel and bank counts,
+address mappings and issue rates, including degenerate 1-config grids.
+
+The smoke test is deliberately sub-second and non-``slow`` so the fast
+tier-1 lane exercises the grid engine on every run, not just the fuzz.
+"""
+
+import random
+
+from test_dram_fanout_equivalence import (
+    _assert_results_equal,
+    _random_arch,
+    _random_grid,
+    _random_topology,
+)
+
+from repro.config.system import (
+    ArchitectureConfig,
+    DramConfig,
+    RunConfig,
+    SystemConfig,
+)
+from repro.core.simulator import Simulator
+from repro.dram.engine_batched import BatchedEngine
+from repro.dram.engine_grid import resolve_plan_grid
+from repro.dram.fanout import _build_line_batches, _grid_groups
+from repro.topology.layer import ConvLayer
+from repro.topology.topology import Topology
+
+
+def _batched_grid(rng: random.Random, arch: ArchitectureConfig):
+    """A random grid filtered to the configs one grid pass would cover."""
+    grid = _random_grid(rng, arch)
+    word = arch.word_bytes
+    return [
+        config
+        for config in grid
+        if config.dram.enabled
+        and config.dram.engine == "batched"
+        and config.arch.word_bytes == word
+    ]
+
+
+def test_two_config_grid_smoke():
+    """Fast lane: a 2-config channel grid is bit-equal to two solo runs."""
+    topology = Topology(
+        "smoke",
+        [
+            ConvLayer(
+                "conv",
+                ifmap_h=14,
+                ifmap_w=14,
+                filter_h=3,
+                filter_w=3,
+                channels=4,
+                num_filters=8,
+            )
+        ],
+    )
+    arch = ArchitectureConfig(array_rows=8, array_cols=8, dataflow="ws")
+    configs = [
+        SystemConfig(
+            arch=arch,
+            dram=DramConfig(enabled=True, technology="ddr4", channels=channels),
+            run=RunConfig(run_name=f"smoke_ch{channels}"),
+        )
+        for channels in (1, 2)
+    ]
+    independent = [Simulator(config).run(topology) for config in configs]
+    plan = Simulator(configs[0]).plan(topology)
+    batches = _build_line_batches(plan, arch.word_bytes)
+    grid = resolve_plan_grid(plan, configs, batches)
+    _assert_results_equal(grid, independent, "smoke")
+    for solo, batched in zip(independent, grid):
+        assert batched.dram_stats == solo.dram_stats
+        for solo_layer, grid_layer in zip(solo.layers, batched.layers):
+            assert grid_layer.timeline == solo_layer.timeline
+
+
+def test_randomized_grids_are_bit_exact():
+    checked = 0
+    for trial in range(16):
+        rng = random.Random(52_000 + 19 * trial)
+        topology = _random_topology(rng)
+        arch = _random_arch(rng)
+        configs = _batched_grid(rng, arch)
+        if len(configs) < 2:
+            continue
+        independent = [Simulator(config).run(topology) for config in configs]
+        plan = Simulator(configs[0]).plan(topology)
+        batches = _build_line_batches(plan, arch.word_bytes)
+        grid = resolve_plan_grid(plan, configs, batches)
+        _assert_results_equal(grid, independent, trial)
+        checked += 1
+    assert checked >= 4
+
+
+def test_forced_vector_dispatch_is_bit_exact(monkeypatch):
+    """Drive the grid *vector* path on small batches.
+
+    The natural dispatch sends small fuzz batches down the per-config
+    scalar fallback; lowering the threshold and disabling the
+    single-stream fast path forces the config-batched pass itself —
+    the code under test — onto the same traffic.
+    """
+    monkeypatch.setattr(BatchedEngine, "vector_threshold", 8)
+    monkeypatch.setattr(BatchedEngine, "single_stream_fast_path", False)
+    checked = 0
+    for trial in range(8):
+        rng = random.Random(64_000 + 23 * trial)
+        topology = _random_topology(rng)
+        arch = _random_arch(rng)
+        configs = _batched_grid(rng, arch)
+        if len(configs) < 2:
+            continue
+        independent = [Simulator(config).run(topology) for config in configs]
+        plan = Simulator(configs[0]).plan(topology)
+        batches = _build_line_batches(plan, arch.word_bytes)
+        grid = resolve_plan_grid(plan, configs, batches)
+        _assert_results_equal(grid, independent, trial)
+        checked += 1
+    assert checked >= 3
+
+
+def test_degenerate_single_config_grid():
+    """A 1-config grid is legal and identical to the solo run."""
+    rng = random.Random(71)
+    topology = _random_topology(rng)
+    arch = _random_arch(rng)
+    config = SystemConfig(
+        arch=arch,
+        dram=DramConfig(enabled=True, technology="ddr4", channels=2),
+        run=RunConfig(run_name="solo"),
+    )
+    solo = Simulator(config).run(topology)
+    plan = Simulator(config).plan(topology)
+    batches = _build_line_batches(plan, arch.word_bytes)
+    [grid] = resolve_plan_grid(plan, [config], batches)
+    assert grid == solo
+
+
+def test_grid_groups_select_only_shared_batched_configs():
+    """Only word sizes with >= 2 batched DRAM configs form grid groups."""
+    arch = ArchitectureConfig(array_rows=8, array_cols=8, dataflow="ws")
+    batched = lambda name, **kwargs: SystemConfig(  # noqa: E731
+        arch=arch,
+        dram=DramConfig(enabled=True, technology="ddr4", **kwargs),
+        run=RunConfig(run_name=name),
+    )
+    configs = [
+        batched("a", channels=1),
+        batched("b", channels=2),
+        batched("c", channels=4, engine="reference"),
+        SystemConfig(arch=arch, dram=DramConfig(enabled=False)),
+    ]
+    groups = _grid_groups(configs)
+    assert groups == {arch.word_bytes: [0, 1]}
+    # Drop one batched member: the lone survivor gains nothing from the
+    # config axis, so no group forms at all.
+    assert _grid_groups(configs[1:]) == {}
