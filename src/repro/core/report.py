@@ -19,7 +19,7 @@ from repro.utils.csvio import write_csv
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.simulator import LayerResult
-    from repro.run.sweep import SweepResult
+    from repro.run.sweep import SweepFailure, SweepResult
 
 
 def write_compute_report(results: list["LayerResult"], out_dir: str | Path) -> Path:
@@ -211,5 +211,55 @@ def write_layout_sweep_report(results: list["SweepResult"], path: str | Path) ->
     if not rows:
         raise ReportError(
             f"refusing to write an empty layout sweep report to {path}"
+        )
+    return write_csv(path, header, rows)
+
+
+def _single_line(text: str, limit: int = 600) -> str:
+    """Flatten a traceback for a CSV cell, keeping its *tail*.
+
+    The last frames and the exception line are the informative part of
+    a traceback; everything above them is scaffolding, so truncation
+    drops the head.
+    """
+    flat = " | ".join(part for part in text.strip().splitlines() if part.strip())
+    if len(flat) > limit:
+        flat = "..." + flat[-limit:]
+    return flat
+
+
+def write_failure_report(failures: list["SweepFailure"], path: str | Path) -> Path:
+    """Write one CSV row per failed sweep point (``degrade`` policy).
+
+    The companion file of :func:`write_sweep_report`: a degraded sweep
+    writes its computable points to the normal report (those rows stay
+    byte-identical to a fault-free run) and the rest here — the point's
+    identity and axis assignment, how many attempts it burned, and the
+    tail of its last traceback.  An empty failure list writes a
+    header-only file, so the file's presence alone never has to be
+    interpreted.
+    """
+    header = [
+        "PointID",
+        "Topology",
+        "Assignment",
+        "Attempts",
+        "ErrorClass",
+        "Error",
+    ]
+    rows = []
+    for failure in failures:
+        assignment = " ".join(
+            f"{name}={value}" for name, value in failure.assignment
+        )
+        rows.append(
+            [
+                failure.index,
+                failure.topology_name,
+                assignment,
+                failure.attempts,
+                failure.error_class,
+                _single_line(failure.traceback_text or failure.message),
+            ]
         )
     return write_csv(path, header, rows)

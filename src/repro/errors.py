@@ -51,3 +51,12 @@ class EnergyModelError(ReproError):
 
 class ReportError(ReproError):
     """Raised when a report cannot be generated or written."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a simulation unit exhausts its executor attempt budget.
+
+    Carries the failing unit's last traceback in its message; when the
+    original exception could be transported across the process boundary
+    it is chained as ``__cause__``.
+    """

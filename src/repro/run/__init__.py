@@ -1,9 +1,11 @@
 """High-level drivers: one-call simulation runs, sweeps, and the CLI."""
 
+from repro.run.executors import make_executor, process_spool
 from repro.run.runner import SimulationOutputs, run_simulation
 from repro.run.sweep import (
     Axis,
     ResultCache,
+    SweepFailure,
     SweepResult,
     SweepRunner,
     SweepSpec,
@@ -14,9 +16,12 @@ __all__ = [
     "Axis",
     "ResultCache",
     "SimulationOutputs",
+    "SweepFailure",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "make_executor",
+    "process_spool",
     "run_simulation",
     "single_point",
 ]

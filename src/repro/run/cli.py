@@ -11,22 +11,36 @@ Either a ``.cfg`` file or a named preset selects the architecture, and
 either a topology CSV or a built-in model name selects the workload.
 The ``sweep`` subcommand crosses the selected config with one or more
 ``--set section.field=v1,v2,...`` axes, fans the grid out over a worker
-pool (:mod:`repro.run.sweep`), and writes a sweep-report CSV.
+pool (:mod:`repro.run.sweep`), and writes a sweep-report CSV.  The
+``worker`` subcommand runs the spool worker loop
+(:func:`repro.run.executors.process_spool`) against a shared spool
+directory — the remote half of ``sweep --executor queue``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.config.parser import load_config
 from repro.config.presets import available_presets, get_preset
 from repro.config.system import VALID_DRAM_ENGINES, VALID_LAYOUT_EVALUATORS
-from repro.core.report import write_layout_sweep_report, write_sweep_report
-from repro.run.executors import AVAILABLE_EXECUTORS, make_executor
+from repro.core.report import (
+    write_failure_report,
+    write_layout_sweep_report,
+    write_sweep_report,
+)
+from repro.run.executors import AVAILABLE_EXECUTORS, make_executor, process_spool
 from repro.run.runner import run_simulation
-from repro.run.sweep import Axis, ResultCache, SweepRunner, SweepSpec
+from repro.run.sweep import (
+    FAILURE_POLICIES,
+    Axis,
+    ResultCache,
+    SweepRunner,
+    SweepSpec,
+)
 from repro.store.artifact_store import ArtifactStore
 from repro.topology.models import available_models, get_model
 from repro.topology.topology import Topology
@@ -168,6 +182,72 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="override the layout bank-conflict evaluator "
         "(default: config's layout.evaluator)",
     )
+    parser.add_argument(
+        "--failure-policy",
+        choices=FAILURE_POLICIES,
+        default="raise",
+        help="what to do when a point exhausts its attempt budget: 'raise' "
+        "aborts the sweep (default); 'degrade' finishes the surviving points "
+        "and writes the rest to <name>_failures.csv",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="attempt budget per simulation unit before it is quarantined "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="queue-executor lease time-to-live in seconds; a worker that "
+        "stops heartbeating for this long forfeits its claim (default 300)",
+    )
+    return parser
+
+
+def build_worker_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``worker`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro worker",
+        description="drain simulation units from a shared spool directory "
+        "(the remote half of 'sweep --executor queue')",
+    )
+    parser.add_argument(
+        "--spool",
+        required=True,
+        help="spool directory shared with the sweep producer",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds to sleep between spool scans (default 0.5)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        help="override the lease TTL used when reclaiming expired claims "
+        "(default: each task's own TTL)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="stop after executing this many units (default: unlimited)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="make a single pass over the spool and exit instead of looping",
+    )
+    parser.add_argument(
+        "--reap",
+        action="store_true",
+        help="also prune batch directories whose producer process is dead",
+    )
     return parser
 
 
@@ -240,13 +320,25 @@ def sweep_main(argv: list[str]) -> int:
             args.executor,
             workers=args.workers,
             spool_dir=Path(args.output) / "spool",
+            max_attempts=args.max_attempts,
+            lease_ttl=args.lease_ttl,
         )
-        runner = SweepRunner(cache=cache, executor=executor, store=store)
+        runner = SweepRunner(
+            cache=cache,
+            executor=executor,
+            store=store,
+            failure_policy=args.failure_policy,
+        )
     else:
-        runner = SweepRunner(workers=args.workers, cache=cache, store=store)
+        runner = SweepRunner(
+            workers=args.workers,
+            cache=cache,
+            store=store,
+            failure_policy=args.failure_policy,
+            max_attempts=args.max_attempts,
+        )
     results = runner.run(spec)
 
-    report = write_sweep_report(results, Path(args.output) / f"{args.name}_report.csv")
     axis_names = [axis.name for axis in spec.axes]
     print(f"sweep:    {args.name} ({len(results)} points, {args.workers} workers)")
     if runner.last_grouping is not None and runner.last_grouping[1]:
@@ -279,12 +371,61 @@ def sweep_main(argv: list[str]) -> int:
     print(hit_line)
     if store is not None:
         print(f"store:    {store.hits} hits / {store.misses} misses")
-    print(f"report:   {report}")
+    if results:
+        report = write_sweep_report(
+            results, Path(args.output) / f"{args.name}_report.csv"
+        )
+        print(f"report:   {report}")
+    if runner.last_failures:
+        failure_report = write_failure_report(
+            runner.last_failures, Path(args.output) / f"{args.name}_failures.csv"
+        )
+        count = len(runner.last_failures)
+        point_word = "point" if count == 1 else "points"
+        print(f"failures: {count} {point_word} -> {failure_report}")
     if any(result.layout_results for result in results):
         layout_report = write_layout_sweep_report(
             results, Path(args.output) / f"{args.name}_layout_report.csv"
         )
         print(f"layout:   {layout_report}")
+    if not results:
+        print("sweep produced no successful points", file=sys.stderr)
+        return 1
+    return 0
+
+
+def worker_main(argv: list[str]) -> int:
+    """Entry point of the ``worker`` subcommand.
+
+    Loops :func:`repro.run.executors.process_spool` over a shared spool
+    directory until interrupted (or, with ``--once``/``--max-tasks``,
+    until a bounded amount of work is done).  Lease reclaim runs on
+    every pass, so a fleet of these processes tolerates any of its
+    members dying mid-unit.
+    """
+    args = build_worker_parser().parse_args(argv)
+    spool_dir = Path(args.spool)
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    executed = 0
+    try:
+        while True:
+            remaining = None
+            if args.max_tasks is not None:
+                remaining = args.max_tasks - executed
+                if remaining <= 0:
+                    break
+            executed += process_spool(
+                spool_dir,
+                max_tasks=remaining,
+                lease_ttl=args.lease_ttl,
+                reap=args.reap,
+            )
+            if args.once:
+                break
+            time.sleep(args.poll)
+    except KeyboardInterrupt:
+        pass
+    print(f"worker: executed {executed} unit(s) from {spool_dir}")
     return 0
 
 
@@ -293,6 +434,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
     config = _with_engine(config, args.engine)

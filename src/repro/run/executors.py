@@ -27,23 +27,184 @@ The mapped function contract: ``fn(unit)`` runs one simulation unit;
 its entire parallelism budget.  Functions must be picklable (module
 level, or :func:`functools.partial` over one) so every executor can
 ship them to workers.
+
+Fault tolerance (see DESIGN.md "Fault tolerance at the executor seam"):
+
+* every attempt's outcome travels as a :class:`ResultEnvelope` — a
+  success wraps its value (so legitimately-falsy payloads never look
+  like "not ready" to a polling producer), a failure carries a
+  structured :class:`UnitFailure` (class, message, traceback, attempt)
+  instead of crashing the worker loop;
+* spool claims carry a JSON **lease** sidecar (owner pid/host, claim
+  and heartbeat times, TTL, attempt) refreshed by a heartbeat thread
+  while the unit runs; :func:`process_spool` *reclaims* tasks whose
+  lease expired — or whose same-host owner is dead — by renaming the
+  claim back into a task with the attempt bumped, so a SIGKILLed
+  worker's unit is simply re-run by the next worker;
+* producers retry failed units with exponential backoff up to a bounded
+  attempt budget, after which the unit is parked in
+  ``<spool>/quarantine/`` with its last traceback alongside;
+* :func:`repro.run.faults` can deterministically inject raises,
+  hard-exits, stalls and torn result writes into any of the above — the
+  recovery fuzz pins that recoverable schedules stay bit-identical to
+  fault-free runs.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
+import re
+import socket
+import threading
 import time
+import traceback as traceback_module
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
-from repro.errors import ConfigError
-from repro.store.artifact_store import dump_pickle_atomic, load_pickle_guarded
+from repro.errors import ConfigError, ExecutionError
+from repro.run import faults
+from repro.store.artifact_store import (
+    dump_json_atomic,
+    dump_pickle_atomic,
+    load_json_guarded,
+    load_pickle_guarded,
+)
 from repro.utils.pool import pool_context
 
 #: Executor names selectable via the CLI's ``--executor`` flag.
 AVAILABLE_EXECUTORS = ("serial", "pool", "queue")
+
+#: Default per-unit attempt budget before a failure becomes terminal.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default seconds without a heartbeat before a claim's lease expires.
+DEFAULT_LEASE_TTL = 300.0
+
+#: Default base of the exponential retry backoff (seconds).
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Ceiling of one backoff sleep, so deep retries stay bounded.
+BACKOFF_CAP = 5.0
+
+
+def _backoff_seconds(base: float, retry_number: int) -> float:
+    """Exponential backoff before retry ``retry_number`` (1-based)."""
+    return min(base * (2.0 ** (retry_number - 1)), BACKOFF_CAP)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a same-host pid."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # pragma: no cover - permission/race: assume alive
+        return True
+    return True
+
+
+# -------------------------------------------------------------- envelopes
+
+
+@dataclass
+class UnitFailure:
+    """Structured record of one unit's failed attempt.
+
+    ``pickled_exception`` holds the original exception when it survives
+    a pickle round trip, so the producer can chain it (``raise ... from``)
+    with full fidelity; the traceback text is always captured.
+    """
+
+    error_class: str
+    message: str
+    traceback_text: str
+    attempts: int
+    pickled_exception: bytes | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, attempt: int) -> UnitFailure:
+        try:
+            blob = pickle.dumps(exc)
+            pickle.loads(blob)  # some exceptions pickle but fail to rebuild
+        except Exception:
+            blob = None
+        return cls(
+            error_class=type(exc).__name__,
+            message=str(exc),
+            traceback_text="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempt,
+            pickled_exception=blob,
+        )
+
+    def exception(self) -> BaseException | None:
+        """Rebuild the original exception, when it was transportable."""
+        if self.pickled_exception is None:
+            return None
+        try:
+            return pickle.loads(self.pickled_exception)
+        except Exception:  # pragma: no cover - env-dependent unpickle
+            return None
+
+    def raise_(self) -> None:
+        """Raise an :class:`ExecutionError` carrying this failure."""
+        error = ExecutionError(
+            f"unit failed after {self.attempts} attempt(s): "
+            f"{self.error_class}: {self.message}\n"
+            f"--- last attempt traceback ---\n{self.traceback_text}"
+        )
+        error.failure = self
+        cause = self.exception()
+        if cause is not None:
+            raise error from cause
+        raise error
+
+
+@dataclass
+class ResultEnvelope:
+    """One unit's terminal outcome: a value, or a structured failure.
+
+    The envelope — not the bare payload — is what spool workers write
+    and producers poll for, so a payload that pickles to ``None`` (or
+    any falsy value) is still unambiguously "done".
+    """
+
+    ok: bool
+    value: object = None
+    failure: UnitFailure | None = None
+    attempt: int = 1
+
+    def unwrap(self) -> object:
+        """The value, or raise the failure as an :class:`ExecutionError`."""
+        if self.ok:
+            return self.value
+        assert self.failure is not None
+        self.failure.raise_()
+
+
+def run_attempt(
+    fn: Callable, unit: object, unit_index: int, attempt: int, workers: int | None = None
+) -> ResultEnvelope:
+    """Run one attempt of ``fn(unit)``, capturing the outcome.
+
+    Exceptions become error envelopes instead of propagating, so one
+    poison unit can never crash a worker loop or abort its siblings.
+    ``unit_index`` keys the deterministic fault-injection schedule
+    (:mod:`repro.run.faults`); disarmed, the hook is a no-op.
+    """
+    try:
+        faults.maybe_inject(unit_index, attempt)
+        value = fn(unit) if workers is None else fn(unit, workers=workers)
+        return ResultEnvelope(ok=True, value=value, attempt=attempt)
+    except Exception as exc:
+        return ResultEnvelope(
+            ok=False, failure=UnitFailure.from_exception(exc, attempt), attempt=attempt
+        )
 
 
 @runtime_checkable
@@ -60,12 +221,46 @@ class Executor(Protocol):
 
 
 class SerialExecutor:
-    """Run every unit in-process, one after another."""
+    """Run every unit in-process, one after another.
+
+    ``map_units`` stays the bare loop — the executable specification —
+    while :meth:`map_units_enveloped` adds the retry/envelope layer the
+    sweep runner's failure policies build on.
+    """
 
     workers = 1
 
+    def __init__(
+        self,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+
     def map_units(self, fn: Callable, units: Sequence) -> list:
         return [fn(unit) for unit in units]
+
+    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
+        """Like :meth:`map_units`, but per-unit outcomes never raise."""
+        envelopes = []
+        for index, unit in enumerate(units):
+            envelope = run_attempt(fn, unit, index, 1)
+            for attempt in range(2, self.max_attempts + 1):
+                if envelope.ok:
+                    break
+                time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+                envelope = run_attempt(fn, unit, index, attempt)
+            envelopes.append(envelope)
+        return envelopes
+
+
+def _pool_attempt(args: tuple) -> ResultEnvelope:
+    """Pool worker entry point: one enveloped attempt (picklable)."""
+    fn, index, unit, attempt = args
+    return run_attempt(fn, unit, index, attempt)
 
 
 class PoolExecutor:
@@ -75,22 +270,71 @@ class PoolExecutor:
     receives the executor's whole worker budget (``fn(unit,
     workers=N)``) so a lone fan-out group parallelises internally —
     exactly the pre-seam ``SweepRunner`` behaviour.
+
+    Every attempt crosses the pool as a :class:`ResultEnvelope`, so one
+    raising unit no longer aborts the map for its siblings: failed units
+    are retried (with backoff) in follow-up rounds up to the attempt
+    budget, and only :meth:`map_units` converts a terminal failure into
+    an :class:`~repro.errors.ExecutionError`.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+    ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
         self.workers = workers
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
 
     def map_units(self, fn: Callable, units: Sequence) -> list:
+        return [env.unwrap() for env in self.map_units_enveloped(fn, units)]
+
+    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
+        """Enveloped map: per-unit outcomes, failures retried then kept."""
         units = list(units)
         if not units:
             return []
         if self.workers == 1 or len(units) == 1:
-            return [fn(unit, workers=self.workers) for unit in units]
-        processes = min(self.workers, len(units))
-        with pool_context().Pool(processes=processes) as pool:
-            return pool.map(fn, units, chunksize=1)
+            return [
+                self._attempts_in_process(fn, index, unit)
+                for index, unit in enumerate(units)
+            ]
+        envelopes: list[ResultEnvelope | None] = [None] * len(units)
+        pending = list(range(len(units)))
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+            jobs = [(fn, index, units[index], attempt) for index in pending]
+            processes = min(self.workers, len(jobs))
+            with pool_context().Pool(processes=processes) as pool:
+                round_envelopes = pool.map(_pool_attempt, jobs, chunksize=1)
+            still_failing = []
+            for index, envelope in zip(pending, round_envelopes):
+                envelopes[index] = envelope
+                if not envelope.ok:
+                    still_failing.append(index)
+            pending = still_failing
+            if not pending:
+                break
+        return envelopes  # type: ignore[return-value]
+
+    def _attempts_in_process(
+        self, fn: Callable, index: int, unit: object
+    ) -> ResultEnvelope:
+        # The single-unit / workers==1 special case, retried in-process.
+        envelope = run_attempt(fn, unit, index, 1, workers=self.workers)
+        for attempt in range(2, self.max_attempts + 1):
+            if envelope.ok:
+                break
+            time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+            envelope = run_attempt(fn, unit, index, attempt, workers=self.workers)
+        return envelope
 
 
 # ------------------------------------------------------------- job queue
@@ -98,6 +342,34 @@ class PoolExecutor:
 #: Spool-file suffixes of the queue protocol.
 _TASK_SUFFIX = ".task.pkl"
 _RESULT_SUFFIX = ".result.pkl"
+_LEASE_SUFFIX = ".lease.json"
+
+#: Spool subdirectory where exhausted units are parked.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Garbage written by the ``corrupt`` fault kind in place of a result
+#: pickle (deliberately not a valid pickle stream).
+_TORN_RESULT_BYTES = b"\x00torn-result-write"
+
+_UNIT_NAME_RE = re.compile(r"unit_(\d+)\.task\.pkl")
+_BATCH_NAME_RE = re.compile(r"batch_(\d+)_")
+
+
+@dataclass
+class TaskRecord:
+    """One spooled unit: the work plus its fault-tolerance metadata.
+
+    This is the task file's on-disk payload.  ``attempt`` is bumped on
+    every producer re-enqueue and every lease reclaim, so whichever
+    worker runs the unit knows which attempt it is executing (and the
+    fault harness can target attempts deterministically).
+    """
+
+    fn: Callable
+    unit: object
+    attempt: int = 1
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    lease_ttl: float = DEFAULT_LEASE_TTL
 
 
 def _spool_task_paths(batch_dir: Path, count: int) -> list[Path]:
@@ -110,22 +382,217 @@ def _result_path(task_path: Path) -> Path:
     )
 
 
-def process_spool(spool_dir: str | Path, max_tasks: int | None = None) -> int:
-    """One pass of the queue worker loop: claim, run, write results.
+def _unit_index(task_path: Path) -> int:
+    """The unit's batch-local index (keys the fault schedule)."""
+    match = _UNIT_NAME_RE.fullmatch(task_path.name)
+    return int(match.group(1)) if match else 0
 
-    Scans every batch directory under ``spool_dir`` for unclaimed task
-    files, claims each by an atomic rename (two workers can never claim
-    the same task), executes the pickled ``(fn, unit)`` pair, and
-    writes the result atomically next to the task.  Returns the number
-    of tasks executed.  This is exactly what a remote worker process —
-    on this machine or another sharing the spool via a network
-    filesystem — runs in a loop.
+
+def _lease_path(claim: Path) -> Path:
+    return claim.with_name(claim.name + _LEASE_SUFFIX)
+
+
+def _claim_task_path(claim: Path) -> Path:
+    """The task path a claim file was renamed from."""
+    return claim.with_name(claim.name.split(".claim.")[0])
+
+
+def _write_lease(claim: Path, attempt: int, ttl: float) -> None:
+    """Write/refresh the claim's lease sidecar (atomic, failure-tolerant)."""
+    now = time.time()
+    dump_json_atomic(
+        _lease_path(claim),
+        {
+            "owner_pid": os.getpid(),
+            "owner_host": socket.gethostname(),
+            "claimed_at": now,
+            "heartbeat_at": now,
+            "lease_ttl": ttl,
+            "attempt": attempt,
+        },
+    )
+
+
+class _LeaseHeartbeat:
+    """Background refresh of a claim's lease while its unit runs.
+
+    A daemon thread rewrites the sidecar every ``ttl / 4`` seconds, so
+    a slow-but-alive worker keeps its lease indefinitely while a
+    SIGKILLed one stops heartbeating the instant it dies.  The thread
+    dies with the process — exactly the property reclaim relies on.
+    """
+
+    def __init__(self, claim: Path, attempt: int, ttl: float) -> None:
+        self._claim = claim
+        self._attempt = attempt
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> _LeaseHeartbeat:
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+    def _run(self) -> None:
+        interval = max(self._ttl / 4.0, 0.01)
+        while not self._stop.wait(interval):
+            if not self._claim.exists():
+                return  # reclaimed or retired under us: stop quietly
+            _write_lease(self._claim, self._attempt, self._ttl)
+
+
+def _lease_expired(claim: Path, lease_ttl: float | None) -> bool:
+    """Is this claim reclaimable?
+
+    Expired means either (a) the lease sidecar's same-host owner pid is
+    dead — a crashed worker is reclaimed immediately, no TTL wait — or
+    (b) the last heartbeat is older than the TTL (a wedged worker whose
+    heartbeat thread stopped, or a cross-host worker that vanished).  A
+    claim without a readable sidecar (worker died inside the tiny
+    rename-to-sidecar window, or a pre-lease legacy worker) falls back
+    to the claim file's mtime.
+    """
+    now = time.time()
+    lease = load_json_guarded(_lease_path(claim))
+    if lease is not None:
+        ttl = lease_ttl if lease_ttl is not None else float(
+            lease.get("lease_ttl", DEFAULT_LEASE_TTL)
+        )
+        owner_pid = int(lease.get("owner_pid", 0))
+        same_host = lease.get("owner_host") == socket.gethostname()
+        if same_host and owner_pid and not _pid_alive(owner_pid):
+            return True
+        return now - float(lease.get("heartbeat_at", 0.0)) > ttl
+    ttl = lease_ttl if lease_ttl is not None else DEFAULT_LEASE_TTL
+    try:
+        return now - claim.stat().st_mtime > ttl
+    except OSError:
+        return False  # claim vanished (owner finished) — nothing to reclaim
+
+
+def _is_claim_file(path: Path) -> bool:
+    """A real claim file — not its lease sidecar or a reclaim token."""
+    return (
+        ".claim." in path.name
+        and not path.name.endswith(_LEASE_SUFFIX)
+        and ".reclaim." not in path.name
+        and not path.name.endswith(".tmp")
+    )
+
+
+def reclaim_expired(spool_dir: str | Path, lease_ttl: float | None = None) -> int:
+    """Return expired claims to the spool as claimable tasks.
+
+    The reclaim itself is claim-by-rename all over again (claim ->
+    private token), so two workers can never both reclaim one task.
+    The winner re-writes the task file with the attempt bumped — the
+    re-run is a *new attempt* against the retry budget and the fault
+    schedule.  Returns the number of tasks reclaimed.
+    """
+    spool_dir = Path(spool_dir)
+    reclaimed = 0
+    for claim in sorted(spool_dir.glob(f"*/unit_*{_TASK_SUFFIX}.claim.*")):
+        if not _is_claim_file(claim) or not _lease_expired(claim, lease_ttl):
+            continue
+        token = claim.with_name(claim.name + f".reclaim.{os.getpid()}")
+        try:
+            claim.rename(token)
+        except OSError:
+            continue  # owner finished, or another reclaimer won
+        task = load_pickle_guarded(token)
+        _lease_path(claim).unlink(missing_ok=True)
+        token.unlink(missing_ok=True)
+        if task is None:
+            continue  # corrupt task: dropped, producer's loss path handles it
+        if isinstance(task, TaskRecord):
+            task = dataclasses.replace(task, attempt=task.attempt + 1)
+        try:
+            dump_pickle_atomic(_claim_task_path(claim), task)
+        except OSError:  # pragma: no cover - batch retired mid-reclaim
+            continue
+        reclaimed += 1
+    return reclaimed
+
+
+def reap_dead_batches(spool_dir: str | Path) -> int:
+    """Prune batch directories whose producer can never collect them.
+
+    A batch directory is dead when it is empty, or when the producer
+    pid embedded in its name (``batch_<pid>_<serial>``) is no longer
+    alive *on this host* — its results would wait forever.  Quarantine
+    is never touched.  A same-host janitor pass, not safe to point at a
+    spool whose producers live on other machines.
+    """
+    spool_dir = Path(spool_dir)
+    if not spool_dir.exists():
+        return 0
+    reaped = 0
+    for batch_dir in sorted(spool_dir.iterdir()):
+        if not batch_dir.is_dir() or batch_dir.name == QUARANTINE_DIRNAME:
+            continue
+        try:
+            entries = list(batch_dir.iterdir())
+        except OSError:  # pragma: no cover - concurrent removal
+            continue
+        match = _BATCH_NAME_RE.match(batch_dir.name)
+        producer_dead = match is not None and not _pid_alive(int(match.group(1)))
+        if entries and not producer_dead:
+            continue
+        for entry in entries:
+            entry.unlink(missing_ok=True)
+        try:
+            batch_dir.rmdir()
+            reaped += 1
+        except OSError:  # pragma: no cover - concurrent writer refilled it
+            pass
+    return reaped
+
+
+def process_spool(
+    spool_dir: str | Path,
+    max_tasks: int | None = None,
+    lease_ttl: float | None = None,
+    reap: bool = False,
+    heartbeat: bool = True,
+) -> int:
+    """One pass of the queue worker loop: reclaim, claim, run, write.
+
+    First returns any expired claims to the spool
+    (:func:`reclaim_expired`), then scans every batch directory under
+    ``spool_dir`` for unclaimed task files, claims each by an atomic
+    rename (two workers can never claim the same task), executes the
+    pickled task, and writes the result atomically next to it.  Returns
+    the number of tasks executed.  This is exactly what a remote worker
+    process — on this machine or another sharing the spool via a
+    network filesystem — runs in a loop (``scale-sim-repro worker``).
+
+    :class:`TaskRecord` tasks run under a lease (sidecar + heartbeat)
+    and produce :class:`ResultEnvelope` results — exceptions included,
+    so a poison unit never kills the loop.  Bare ``(fn, unit)`` tuple
+    tasks keep the original raw protocol: raw result payload, no lease
+    (pre-envelope producers and tests still interoperate).
+
+    Args:
+        max_tasks: stop after executing this many tasks.
+        lease_ttl: override for expiry checks (``None`` trusts each
+            lease's own TTL).
+        reap: prune dead batch directories after the pass
+            (:func:`reap_dead_batches`).
+        heartbeat: refresh leases while units run (disable only in
+            tests that exercise expiry-under-execution).
     """
     spool_dir = Path(spool_dir)
     executed = 0
     if not spool_dir.exists():
         return 0
+    reclaim_expired(spool_dir, lease_ttl=lease_ttl)
     for task_path in sorted(spool_dir.glob(f"*/unit_*{_TASK_SUFFIX}")):
+        if spool_dir / QUARANTINE_DIRNAME in task_path.parents:
+            continue  # parked units are evidence, not work
         if max_tasks is not None and executed >= max_tasks:
             break
         claim = task_path.with_name(task_path.name + f".claim.{os.getpid()}")
@@ -135,22 +602,62 @@ def process_spool(spool_dir: str | Path, max_tasks: int | None = None) -> int:
             continue  # another worker won the claim
         task = load_pickle_guarded(claim)
         if task is None:
-            continue  # corrupt spool entry: dropped, producer times out
-        fn, unit = task
-        dump_pickle_atomic(_result_path(task_path), fn(unit))
-        claim.unlink(missing_ok=True)
+            continue  # corrupt spool entry: dropped, producer's loss path recovers
+        if isinstance(task, TaskRecord):
+            _execute_claimed(task_path, claim, task, lease_ttl, heartbeat)
+        else:
+            fn, unit = task
+            try:
+                dump_pickle_atomic(_result_path(task_path), fn(unit))
+            except OSError:  # pragma: no cover - batch retired mid-run
+                pass
+            claim.unlink(missing_ok=True)
         executed += 1
+    if reap:
+        reap_dead_batches(spool_dir)
     return executed
+
+
+def _execute_claimed(
+    task_path: Path,
+    claim: Path,
+    task: TaskRecord,
+    lease_ttl: float | None,
+    heartbeat: bool,
+) -> None:
+    """Run one claimed :class:`TaskRecord` under its lease."""
+    ttl = lease_ttl if lease_ttl is not None else task.lease_ttl
+    _write_lease(claim, task.attempt, ttl)
+    index = _unit_index(task_path)
+    if heartbeat:
+        with _LeaseHeartbeat(claim, task.attempt, ttl):
+            envelope = run_attempt(task.fn, task.unit, index, task.attempt)
+    else:
+        envelope = run_attempt(task.fn, task.unit, index, task.attempt)
+    try:
+        if faults.corrupt_requested(index, task.attempt):
+            _result_path(task_path).write_bytes(_TORN_RESULT_BYTES)
+        else:
+            dump_pickle_atomic(_result_path(task_path), envelope)
+    except OSError:  # pragma: no cover - batch retired mid-run
+        pass
+    _lease_path(claim).unlink(missing_ok=True)
+    claim.unlink(missing_ok=True)
 
 
 class QueueExecutor:
     """Spool-directory executor: the sharding drop-in point.
 
     Every ``map_units`` call creates one batch directory under the
-    spool, writes each unit as an atomic ``(fn, unit)`` task file,
-    lets workers claim tasks (:func:`process_spool`), and polls for the
-    result files.  With ``run_local_worker=True`` (the default) the
-    executor drains its own spool in-process after enqueueing — the
+    spool, writes each unit as an atomic :class:`TaskRecord` task file,
+    lets workers claim tasks (:func:`process_spool`), and supervises
+    the result files: success envelopes are collected, error envelopes
+    are re-enqueued with exponential backoff until the attempt budget
+    runs out (then parked in ``<spool>/quarantine/`` with the last
+    traceback), vanished results (torn writes) count as one more failed
+    attempt, and expired leases are reclaimed so a dead worker's unit
+    re-runs elsewhere.  With ``run_local_worker=True`` (the default)
+    the executor drains its own spool in-process between polls — the
     full serialize/claim/execute/collect round trip runs through disk,
     so the on-disk protocol is exercised end to end even with no
     external worker attached.
@@ -162,6 +669,10 @@ class QueueExecutor:
         poll_interval: seconds between result-collection scans.
         timeout: seconds to wait for all results before raising
             (``None`` waits indefinitely — external-worker setups).
+        max_attempts: per-unit attempt budget before quarantine.
+        lease_ttl: seconds without a heartbeat before a claim is
+            considered abandoned and reclaimed.
+        backoff_base: base of the exponential re-enqueue backoff.
     """
 
     workers = 1
@@ -172,15 +683,30 @@ class QueueExecutor:
         run_local_worker: bool = True,
         poll_interval: float = 0.05,
         timeout: float | None = 300.0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
     ) -> None:
         if poll_interval <= 0:
             raise ConfigError(f"poll_interval must be > 0, got {poll_interval}")
+        if max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+        if lease_ttl <= 0:
+            raise ConfigError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.spool_dir = Path(spool_dir)
         self.spool_dir.mkdir(parents=True, exist_ok=True)
         self.run_local_worker = run_local_worker
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.lease_ttl = lease_ttl
+        self.backoff_base = backoff_base
         self._batch_serial = 0
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where exhausted units are parked (created on first use)."""
+        return self.spool_dir / QUARANTINE_DIRNAME
 
     def _new_batch_dir(self) -> Path:
         # Pid + per-instance serial: unique across concurrent producers
@@ -195,72 +721,232 @@ class QueueExecutor:
                 continue
 
     def map_units(self, fn: Callable, units: Sequence) -> list:
+        return [env.unwrap() for env in self.map_units_enveloped(fn, units)]
+
+    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
+        """Enveloped map: per-unit outcomes, terminal failures kept."""
         units = list(units)
         if not units:
             return []
         batch_dir = self._new_batch_dir()
         task_paths = _spool_task_paths(batch_dir, len(units))
+        records = [
+            TaskRecord(
+                fn=fn,
+                unit=unit,
+                attempt=1,
+                max_attempts=self.max_attempts,
+                lease_ttl=self.lease_ttl,
+            )
+            for unit in units
+        ]
         try:
-            for task_path, unit in zip(task_paths, units):
-                dump_pickle_atomic(task_path, (fn, unit))
-            if self.run_local_worker:
-                process_spool(self.spool_dir)
-            return self._collect(task_paths)
+            for task_path, record in zip(task_paths, records):
+                dump_pickle_atomic(task_path, record)
+            return self._supervise(batch_dir, task_paths, records)
         finally:
             self._cleanup(batch_dir, task_paths)
 
     def _collect(self, task_paths: list[Path]) -> list:
-        results: dict[int, object] = {}
-        deadline = None if self.timeout is None else time.monotonic() + self.timeout
-        while len(results) < len(task_paths):
+        """Collect raw results for externally-written tasks.
+
+        Back-compat entry point for producers that enqueue task files
+        themselves (bare ``(fn, unit)`` tuples included): supervises the
+        paths with default-budget placeholder records and unwraps the
+        envelopes.
+        """
+        records = [
+            TaskRecord(
+                fn=None,
+                unit=None,
+                max_attempts=self.max_attempts,
+                lease_ttl=self.lease_ttl,
+            )
+            for _ in task_paths
+        ]
+        return [
+            env.unwrap()
+            for env in self._supervise(task_paths[0].parent, task_paths, records)
+        ]
+
+    # ------------------------------------------------------- supervision
+
+    def _supervise(
+        self, batch_dir: Path, task_paths: list[Path], records: list[TaskRecord]
+    ) -> list[ResultEnvelope]:
+        """The producer loop: collect, retry, reclaim, quarantine."""
+        envelopes: dict[int, ResultEnvelope] = {}
+        enqueued_attempt = {index: 1 for index in range(len(task_paths))}
+        requeue_after: dict[int, tuple[float, TaskRecord]] = {}
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        while len(envelopes) < len(task_paths):
+            if self.run_local_worker:
+                process_spool(self.spool_dir)
             for index, task_path in enumerate(task_paths):
-                if index in results:
+                if index in envelopes:
                     continue
-                payload = load_pickle_guarded(_result_path(task_path))
-                if payload is not None:
-                    results[index] = payload
-            if len(results) == len(task_paths):
+                if index in requeue_after:
+                    due, record = requeue_after[index]
+                    if time.monotonic() >= due:
+                        del requeue_after[index]
+                        dump_pickle_atomic(task_path, record)
+                        enqueued_attempt[index] = record.attempt
+                    continue
+                self._check_unit(
+                    index, task_path, records, envelopes, enqueued_attempt, requeue_after
+                )
+            if len(envelopes) == len(task_paths):
                 break
             if deadline is not None and time.monotonic() > deadline:
                 missing = [
                     task_paths[i].name
                     for i in range(len(task_paths))
-                    if i not in results
+                    if i not in envelopes
                 ]
                 raise TimeoutError(
                     f"queue executor: {len(missing)} unit(s) not completed "
                     f"within {self.timeout}s: {', '.join(missing[:5])}"
                 )
             time.sleep(self.poll_interval)
-        return [results[index] for index in range(len(task_paths))]
+        return [envelopes[index] for index in range(len(task_paths))]
+
+    def _check_unit(
+        self,
+        index: int,
+        task_path: Path,
+        records: list[TaskRecord],
+        envelopes: dict[int, ResultEnvelope],
+        enqueued_attempt: dict[int, int],
+        requeue_after: dict[int, tuple[float, TaskRecord]],
+    ) -> None:
+        """Poll one unit: collect its envelope or advance its recovery."""
+        payload = load_pickle_guarded(_result_path(task_path))
+        if payload is None:
+            # No result yet.  If the task file and every claim of it are
+            # gone too, the unit vanished: a torn result write (the
+            # guarded load above just unlinked the garbage) or a writer
+            # that crashed between unlinks.  Re-check the result once
+            # more to close the claim-unlink/result-write race window.
+            if (
+                task_path.exists()
+                or self._in_flight(task_path)
+                or load_pickle_guarded(_result_path(task_path)) is not None
+            ):
+                return
+            failure = UnitFailure(
+                error_class="ResultLost",
+                message="result pickle missing or corrupt after execution",
+                traceback_text="",
+                attempts=enqueued_attempt[index],
+            )
+            self._record_failure(
+                index, task_path, records, envelopes, requeue_after, failure
+            )
+            return
+        if not isinstance(payload, ResultEnvelope):
+            # Legacy raw result (bare-tuple task protocol).
+            envelopes[index] = ResultEnvelope(ok=True, value=payload)
+            return
+        if payload.ok:
+            envelopes[index] = payload
+            return
+        _result_path(task_path).unlink(missing_ok=True)
+        assert payload.failure is not None
+        self._record_failure(
+            index, task_path, records, envelopes, requeue_after, payload.failure
+        )
+
+    def _record_failure(
+        self,
+        index: int,
+        task_path: Path,
+        records: list[TaskRecord],
+        envelopes: dict[int, ResultEnvelope],
+        requeue_after: dict[int, tuple[float, TaskRecord]],
+        failure: UnitFailure,
+    ) -> None:
+        """Retry a failed attempt with backoff, or quarantine the unit."""
+        next_attempt = failure.attempts + 1
+        if next_attempt > records[index].max_attempts:
+            self._quarantine(task_path, records[index], failure)
+            envelopes[index] = ResultEnvelope(
+                ok=False, failure=failure, attempt=failure.attempts
+            )
+            return
+        record = dataclasses.replace(records[index], attempt=next_attempt)
+        due = time.monotonic() + _backoff_seconds(self.backoff_base, next_attempt - 1)
+        requeue_after[index] = (due, record)
+
+    def _in_flight(self, task_path: Path) -> bool:
+        """Is any worker holding (or reclaiming) a claim on this unit?"""
+        return any(task_path.parent.glob(task_path.name + ".claim.*"))
+
+    def _quarantine(
+        self, task_path: Path, record: TaskRecord, failure: UnitFailure
+    ) -> None:
+        """Park an exhausted unit beside its last traceback."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        stem = f"{task_path.parent.name}_{task_path.name[: -len(_TASK_SUFFIX)]}"
+        dump_pickle_atomic(
+            self.quarantine_dir / f"{stem}{_TASK_SUFFIX}",
+            dataclasses.replace(record, attempt=failure.attempts),
+        )
+        (self.quarantine_dir / f"{stem}.traceback.txt").write_text(
+            f"unit: {task_path}\n"
+            f"attempts: {failure.attempts}\n"
+            f"error: {failure.error_class}: {failure.message}\n\n"
+            f"{failure.traceback_text}"
+        )
 
     def _cleanup(self, batch_dir: Path, task_paths: list[Path]) -> None:
+        """Retire a finished batch: tasks, results, claims, leases, dir.
+
+        Claims and lease sidecars of in-flight duplicates (a reclaimed
+        unit whose original worker is still stalling) are removed too —
+        the batch is decided, any straggler's write lands in a void and
+        its writer is guarded against the missing directory.
+        """
         for task_path in task_paths:
             task_path.unlink(missing_ok=True)
             _result_path(task_path).unlink(missing_ok=True)
         try:
+            for leftover in batch_dir.iterdir():
+                leftover.unlink(missing_ok=True)
             batch_dir.rmdir()
-        except OSError:  # pragma: no cover - stale claims left behind
+        except OSError:  # pragma: no cover - concurrent straggler write
             pass
 
 
 def make_executor(
-    name: str, workers: int = 1, spool_dir: str | Path | None = None
+    name: str,
+    workers: int = 1,
+    spool_dir: str | Path | None = None,
+    max_attempts: int | None = None,
+    lease_ttl: float | None = None,
 ) -> Executor:
     """Build an executor by CLI name.
 
     ``serial`` ignores ``workers``; ``pool`` wraps ``workers``
     processes; ``queue`` spools through ``spool_dir`` (required).
+    ``max_attempts`` / ``lease_ttl`` override the fault-tolerance
+    defaults where the backend supports them.
     """
     key = name.strip().lower()
+    attempts = DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts
     if key == "serial":
-        return SerialExecutor()
+        return SerialExecutor(max_attempts=attempts)
     if key == "pool":
-        return PoolExecutor(workers)
+        return PoolExecutor(workers, max_attempts=attempts)
     if key == "queue":
         if spool_dir is None:
             raise ConfigError("queue executor requires a spool directory")
-        return QueueExecutor(spool_dir)
+        return QueueExecutor(
+            spool_dir,
+            max_attempts=attempts,
+            lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+        )
     raise ConfigError(
         f"unknown executor {name!r}; available: {', '.join(AVAILABLE_EXECUTORS)}"
     )
@@ -268,10 +954,21 @@ def make_executor(
 
 __all__ = [
     "AVAILABLE_EXECUTORS",
+    "BACKOFF_CAP",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
     "Executor",
     "PoolExecutor",
+    "QUARANTINE_DIRNAME",
     "QueueExecutor",
+    "ResultEnvelope",
     "SerialExecutor",
+    "TaskRecord",
+    "UnitFailure",
     "make_executor",
     "process_spool",
+    "reap_dead_batches",
+    "reclaim_expired",
+    "run_attempt",
 ]

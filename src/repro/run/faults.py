@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the execution substrate.
+
+Fault tolerance that has never seen a fault is a guess.  This module
+lets tests (and brave operators) *schedule* faults deterministically
+inside the mapped function of any executor — the exact failure modes a
+distributed sweep must survive:
+
+* ``raise`` — the unit raises mid-execution (a poison config, a flaky
+  dependency);
+* ``exit`` — the worker hard-exits via :func:`os._exit` (SIGKILL, OOM
+  kill): no cleanup, no traceback, the claim and its lease are left
+  behind;
+* ``stall`` — the unit sleeps, modelling a wedged or very slow worker
+  whose lease may expire under it;
+* ``corrupt`` — the worker writes garbage bytes instead of its result
+  pickle (a torn write on a crashed writer / flaky filesystem).  Only
+  the spool protocol has a result pickle, so this kind is a no-op for
+  in-memory executors.
+
+The schedule is **armed through an environment variable**
+(:data:`FAULT_PLAN_ENV`, JSON) so it crosses every process boundary the
+executors do — fork pools, spawn pools, spool worker subprocesses —
+without any of them cooperating.  Each :class:`FaultSpec` targets one
+``(unit, attempt)`` pair, so a fault fires exactly once and the retry /
+lease-reclaim machinery is observed recovering from it: a schedule that
+only touches attempts below the attempt budget must converge to results
+bit-identical to the fault-free run (the recovery fuzz in
+``tests/run/test_fault_injection_fuzz.py`` pins exactly that).
+
+With the environment variable unset (production), every hook in this
+module is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Environment variable carrying the armed JSON fault schedule.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Exit status used by the ``exit`` fault kind (distinctive in ``wait``).
+HARD_EXIT_CODE = 173
+
+#: The injectable fault kinds, in escalating order of rudeness.
+FAULT_KINDS = ("raise", "stall", "corrupt", "exit")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an armed ``raise`` fault inside the mapped function."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` on ``(unit, attempt)``.
+
+    ``unit`` is the unit's index within its batch (the executors number
+    units by position); ``attempt`` is 1-based, matching the lease /
+    envelope attempt counters.  ``seconds`` only matters for ``stall``.
+    """
+
+    kind: str
+    unit: int
+    attempt: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+
+
+def arm(specs: list[FaultSpec]) -> None:
+    """Install a fault schedule in this process's environment."""
+    os.environ[FAULT_PLAN_ENV] = json.dumps(
+        [dataclasses.asdict(spec) for spec in specs]
+    )
+
+
+def disarm() -> None:
+    """Remove any armed fault schedule."""
+    os.environ.pop(FAULT_PLAN_ENV, None)
+
+
+@contextmanager
+def armed(specs: list[FaultSpec]):
+    """Context manager: arm ``specs`` for the block, restore after.
+
+    Child processes started inside the block (pool workers, spool
+    worker subprocesses) inherit the armed environment.
+    """
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    arm(specs)
+    try:
+        yield
+    finally:
+        if previous is None:
+            disarm()
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def active_plan() -> list[FaultSpec]:
+    """The armed schedule, or ``[]`` when disarmed (the common case).
+
+    Re-read from the environment on every call — it is only consulted
+    around unit execution, and tests re-arm between cases.
+    """
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return []
+    try:
+        entries = json.loads(raw)
+    except ValueError:
+        return []
+    return [FaultSpec(**entry) for entry in entries]
+
+
+def find(unit: int, attempt: int, kind: str | None = None) -> FaultSpec | None:
+    """The scheduled fault for ``(unit, attempt)``, if any."""
+    for spec in active_plan():
+        if spec.unit != unit or spec.attempt != attempt:
+            continue
+        if kind is not None and spec.kind != kind:
+            continue
+        return spec
+    return None
+
+
+def maybe_inject(unit: int, attempt: int) -> None:
+    """Fire the fault scheduled for ``(unit, attempt)``, if armed.
+
+    Called by the executors immediately before running the mapped
+    function.  ``corrupt`` is not fired here — it targets the *result
+    write*, so the spool worker consults :func:`corrupt_requested` at
+    write time instead.
+    """
+    spec = find(unit, attempt)
+    if spec is None or spec.kind == "corrupt":
+        return
+    if spec.kind == "raise":
+        raise FaultInjected(f"injected fault: unit {unit}, attempt {attempt}")
+    if spec.kind == "stall":
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "exit":
+        os._exit(HARD_EXIT_CODE)
+
+
+def corrupt_requested(unit: int, attempt: int) -> bool:
+    """Should the result pickle of ``(unit, attempt)`` be torn?"""
+    return find(unit, attempt, kind="corrupt") is not None
+
+
+def seeded_plan(
+    seed: int,
+    units: int,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    fault_rate: float = 0.5,
+    max_attempt: int = 2,
+    stall_seconds: float = 0.05,
+) -> list[FaultSpec]:
+    """A reproducible random fault schedule for the recovery fuzz.
+
+    Each unit independently draws whether it faults, which kind, and on
+    how many leading attempts (``1..max_attempt``).  Keeping
+    ``max_attempt`` below the executor's attempt budget makes every
+    schedule *recoverable by construction*: some attempt of every unit
+    runs clean, so the run must converge to fault-free results.
+    """
+    rng = random.Random(seed)
+    specs: list[FaultSpec] = []
+    for unit in range(units):
+        if rng.random() >= fault_rate:
+            continue
+        kind = kinds[rng.randrange(len(kinds))]
+        for attempt in range(1, rng.randint(1, max_attempt) + 1):
+            specs.append(
+                FaultSpec(kind=kind, unit=unit, attempt=attempt, seconds=stall_seconds)
+            )
+    return specs
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultSpec",
+    "HARD_EXIT_CODE",
+    "active_plan",
+    "arm",
+    "armed",
+    "corrupt_requested",
+    "disarm",
+    "find",
+    "maybe_inject",
+    "seeded_plan",
+]

@@ -58,7 +58,14 @@ from repro.core.simulator import RunResult, Simulator
 from repro.energy.accelergy import EnergyReport
 from repro.errors import ConfigError
 from repro.layout.integrate import LayoutEvalConfig, LayoutEvalResult
-from repro.run.executors import Executor, PoolExecutor, SerialExecutor
+from repro.run.executors import (
+    DEFAULT_MAX_ATTEMPTS,
+    Executor,
+    PoolExecutor,
+    ResultEnvelope,
+    SerialExecutor,
+    UnitFailure,
+)
 from repro.run.runner import run_simulation
 from repro.sparsity.sparse_compute import SparseLayerResult
 from repro.store.artifact_store import (
@@ -77,6 +84,12 @@ _SWEEPABLE_SECTIONS = ("arch", "sparsity", "dram", "layout", "energy", "multicor
 #: sparsity pass and the trace stream, and resolve per-config through
 #: the DRAM / layout fan-out seams instead of separate dense runs.
 _GROUPABLE_SECTIONS = ("dram", "layout")
+
+#: What a sweep does when a unit exhausts its attempt budget:
+#: ``raise`` (default) surfaces the failure with the original traceback
+#: chained; ``degrade`` completes the sweep with the points it could
+#: compute and records the rest in :attr:`SweepRunner.last_failures`.
+FAILURE_POLICIES = ("raise", "degrade")
 
 #: Simulator-semantics salt folded into every content key.  Bump this
 #: whenever output *shape or meaning* changes without a config-field
@@ -567,6 +580,31 @@ class SweepResult:
         return sum(r.sparse_compute_cycles for r in self.sparse_results)
 
 
+@dataclass
+class SweepFailure:
+    """One sweep point that could not be computed (``degrade`` policy).
+
+    Mirrors :class:`SweepResult`'s identity fields and carries the
+    terminal :class:`~repro.run.executors.UnitFailure` of the unit the
+    point belonged to — every point of a failed fan-out group yields
+    its own :class:`SweepFailure` row.
+    """
+
+    index: int
+    topology_name: str
+    assignment: tuple[tuple[str, object], ...]
+    config: SystemConfig
+    attempts: int
+    error_class: str
+    message: str
+    traceback_text: str
+
+    @property
+    def assignment_dict(self) -> dict[str, object]:
+        """The axis assignment as a plain dict."""
+        return dict(self.assignment)
+
+
 #: One pool work unit: point positions it covers + the worker arguments.
 _Unit = tuple[list[int], tuple[str, tuple]]
 
@@ -711,6 +749,14 @@ class SweepRunner:
             the mid-level artifacts simulation units share (compute
             schedules, fold-demand streams, decoded line batches); its
             hit/miss counters cover lookups made in this process.
+        failure_policy: ``raise`` (default) re-raises a unit's terminal
+            failure with the original traceback chained; ``degrade``
+            completes the sweep with the computable points and reports
+            the rest through :attr:`last_failures`.
+        max_attempts: per-unit attempt budget of the sugar executors
+            (transient faults are retried with backoff before a failure
+            becomes terminal); an explicit ``executor`` carries its own
+            budget instead.
     """
 
     def __init__(
@@ -719,19 +765,42 @@ class SweepRunner:
         cache: ResultCache | None = None,
         executor: Executor | None = None,
         store: ArtifactStore | None = None,
+        failure_policy: str = "raise",
+        max_attempts: int | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if failure_policy not in FAILURE_POLICIES:
+            raise ConfigError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
         if executor is None:
-            executor = SerialExecutor() if workers == 1 else PoolExecutor(workers)
+            attempts = DEFAULT_MAX_ATTEMPTS if max_attempts is None else max_attempts
+            executor = (
+                SerialExecutor(max_attempts=attempts)
+                if workers == 1
+                else PoolExecutor(workers, max_attempts=attempts)
+            )
         elif workers != 1:
             raise ConfigError(
                 "pass either workers (pool sugar) or an explicit executor, not both"
             )
+        elif max_attempts is not None:
+            raise ConfigError(
+                "an explicit executor carries its own max_attempts; "
+                "pass it to the executor instead"
+            )
         self.executor = executor
         self.workers = getattr(executor, "workers", 1)
         self.store = store
+        self.failure_policy = failure_policy
         self.cache = cache if cache is not None else ResultCache()
+        #: Points the most recent ``degrade``-policy :meth:`run` could
+        #: not compute, as :class:`SweepFailure` rows in index order
+        #: (always empty under the ``raise`` policy — the first failure
+        #: raises instead).
+        self.last_failures: list[SweepFailure] = []
         #: ``(simulated_points, simulation_units)`` of the most recent
         #: :meth:`run` — how far axis-class grouping collapsed the
         #: points that actually simulated (cache hits and duplicates
@@ -741,9 +810,17 @@ class SweepRunner:
         self.last_grouping: SweepGrouping | None = None
 
     def run(self, spec: SweepSpec) -> list[SweepResult]:
-        """Run every grid point; results come back ordered by index."""
+        """Run every grid point; results come back ordered by index.
+
+        Under ``failure_policy="degrade"`` the returned list holds only
+        the computable points (still in index order, rows byte-identical
+        to a fault-free run); failed points land in
+        :attr:`last_failures`.  Under ``raise`` (default) the first
+        terminal unit failure re-raises with its traceback chained.
+        """
         points = spec.expand()
         self.last_grouping = SweepGrouping(0, 0)
+        self.last_failures = []
         keys = [
             self.cache.key(point.config, point.topology, spec.simulate_dense)
             for point in points
@@ -767,12 +844,37 @@ class SweepRunner:
                 unique[key] = point
 
         computed = self._compute(list(unique.values()), spec.simulate_dense)
-        for key, payload in zip(unique, computed):
-            self.cache.put(key, payload)
+        failed_keys: dict[str, UnitFailure] = {}
+        for key, envelope in zip(unique, computed):
+            if envelope.ok:
+                # Successes are cached even when a sibling failed, so a
+                # re-run (or a degrade-policy retry) resumes instead of
+                # re-simulating the healthy points.
+                self.cache.put(key, envelope.value)
+            else:
+                assert envelope.failure is not None
+                failed_keys[key] = envelope.failure
+        if failed_keys and self.failure_policy == "raise":
+            next(iter(failed_keys.values())).raise_()
 
         computed_first = {key: point.index for key, point in unique.items()}
         results: list[SweepResult] = []
         for point, key in zip(points, keys):
+            if key in failed_keys:
+                failure = failed_keys[key]
+                self.last_failures.append(
+                    SweepFailure(
+                        index=point.index,
+                        topology_name=point.topology.name,
+                        assignment=point.assignment,
+                        config=point.config,
+                        attempts=failure.attempts,
+                        error_class=failure.error_class,
+                        message=failure.message,
+                        traceback_text=failure.traceback_text,
+                    )
+                )
+                continue
             if point.index in cached:
                 payload = cached[point.index]
                 from_cache = True
@@ -812,7 +914,15 @@ class SweepRunner:
 
     def _compute(
         self, points: list[SweepPoint], simulate_dense: bool
-    ) -> list[_PointPayload]:
+    ) -> list[ResultEnvelope]:
+        """Dispatch the cache-missed points; one envelope per point.
+
+        A unit's terminal failure (attempt budget exhausted on the
+        executor) fans out to an error envelope for every member point;
+        success envelopes carry the member's :class:`_PointPayload`.
+        Executors without the enveloped entry point keep the original
+        raise-through contract.
+        """
         if not points:
             return []
         units = _grouped_units(points, simulate_dense)
@@ -824,13 +934,27 @@ class SweepRunner:
             if self.store is not None
             else _simulate_unit
         )
-        unit_payloads = self.executor.map_units(fn, [unit[1] for unit in units])
-        payloads: list[_PointPayload | None] = [None] * len(points)
-        for (members, _), computed in zip(units, unit_payloads):
-            for position, payload in zip(members, computed):
-                payloads[position] = payload
-        assert all(payload is not None for payload in payloads)
-        return payloads  # type: ignore[return-value]
+        unit_args = [unit[1] for unit in units]
+        enveloped_map = getattr(self.executor, "map_units_enveloped", None)
+        if enveloped_map is not None:
+            unit_envelopes = enveloped_map(fn, unit_args)
+        else:
+            unit_envelopes = [
+                ResultEnvelope(ok=True, value=value)
+                for value in self.executor.map_units(fn, unit_args)
+            ]
+        point_envelopes: list[ResultEnvelope | None] = [None] * len(points)
+        for (members, _), envelope in zip(units, unit_envelopes):
+            if envelope.ok:
+                for position, payload in zip(members, envelope.value):
+                    point_envelopes[position] = ResultEnvelope(
+                        ok=True, value=payload, attempt=envelope.attempt
+                    )
+            else:
+                for position in members:
+                    point_envelopes[position] = envelope
+        assert all(envelope is not None for envelope in point_envelopes)
+        return point_envelopes  # type: ignore[return-value]
 
 
 def single_point(
@@ -846,7 +970,9 @@ def single_point(
 
 __all__ = [
     "Axis",
+    "FAILURE_POLICIES",
     "ResultCache",
+    "SweepFailure",
     "SweepGrouping",
     "SweepPoint",
     "SweepResult",

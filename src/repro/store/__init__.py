@@ -6,7 +6,9 @@ from repro.store.artifact_store import (
     active_store,
     canonical_artifact,
     content_address,
+    dump_json_atomic,
     dump_pickle_atomic,
+    load_json_guarded,
     load_pickle_guarded,
     set_active_store,
 )
@@ -17,7 +19,9 @@ __all__ = [
     "active_store",
     "canonical_artifact",
     "content_address",
+    "dump_json_atomic",
     "dump_pickle_atomic",
+    "load_json_guarded",
     "load_pickle_guarded",
     "set_active_store",
 ]

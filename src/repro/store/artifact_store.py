@@ -83,6 +83,43 @@ def dump_pickle_atomic(path: Path, payload: object) -> None:
     tmp.replace(path)
 
 
+def load_json_guarded(path: Path) -> dict | None:
+    """Load a small JSON sidecar, treating corruption as absence.
+
+    The JSON counterpart of :func:`load_pickle_guarded` — used for the
+    queue executor's lease sidecars, which a SIGKILLed worker can leave
+    truncated.  Unlike the pickle guard the bad file is *not* unlinked:
+    a lease sidecar's existence is itself information (the claim is
+    held), and the mtime fallback still applies to it.
+    """
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def dump_json_atomic(path: Path, payload: dict) -> None:
+    """Write a small JSON file via a per-process temp name + replace.
+
+    Same discipline as :func:`dump_pickle_atomic`; swallows ``OSError``
+    because lease sidecars are written into batch directories a
+    concurrent producer may retire at any moment — a failed heartbeat
+    write just means the lease ages toward reclaim, which is correct.
+    """
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        tmp.replace(path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - double fault
+            pass
+
+
 def canonical_artifact(value: object) -> object:
     """A JSON-ready canonical rendering of an artifact-key ingredient.
 
@@ -190,7 +227,9 @@ __all__ = [
     "active_store",
     "canonical_artifact",
     "content_address",
+    "dump_json_atomic",
     "dump_pickle_atomic",
+    "load_json_guarded",
     "load_pickle_guarded",
     "set_active_store",
 ]

@@ -1,0 +1,138 @@
+"""Crash-recovery integration test: a real worker dies mid-unit.
+
+The full distributed story end to end, with no in-process shortcuts:
+
+1. a sweep producer spools units and polls for results
+   (``run_local_worker=False`` — it executes nothing itself);
+2. a real external worker subprocess (``scale-sim-repro worker``) claims
+   a unit and — thanks to an armed stall fault — wedges inside it with a
+   live lease;
+3. SIGKILL takes the worker out, exactly like an OOM kill would: no
+   cleanup, the claim and lease sidecar left behind;
+4. a second worker subprocess reclaims the orphaned unit (dead same-host
+   owner — no TTL wait) and finishes the batch;
+5. the producer, which never learned any of this happened, stitches a
+   sweep report byte-identical to a serial fault-free run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.config.system import RunConfig, SystemConfig
+from repro.core.report import write_sweep_report
+from repro.run.executors import QueueExecutor
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
+from repro.topology.models import toy_gemm
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec(
+        base=SystemConfig(run=RunConfig(run_name="unit_crash_recovery")),
+        axes=[Axis("arch.dataflow", ("os", "ws"))],
+        topologies=[toy_gemm()],
+        name="crash_recovery",
+    )
+
+
+def _worker_env(fault_plan: list[dict] | None = None) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(_SRC))
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    return env
+
+
+def _spawn_worker(spool: Path, env: dict) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.run.cli",
+            "worker",
+            "--spool",
+            str(spool),
+            "--poll",
+            "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_for(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.mark.timeout(240)
+def test_sigkilled_worker_is_reclaimed_and_sweep_is_byte_identical(tmp_path):
+    reference = SweepRunner().run(_spec())
+    reference_csv = write_sweep_report(reference, tmp_path / "reference.csv")
+
+    spool = tmp_path / "spool"
+    executor = QueueExecutor(
+        spool,
+        run_local_worker=False,
+        poll_interval=0.05,
+        timeout=180.0,
+        max_attempts=3,
+        lease_ttl=60.0,  # recovery must come from pid-death, not TTL decay
+    )
+    runner = SweepRunner(executor=executor)
+    results: list = []
+    errors: list = []
+
+    def produce() -> None:
+        try:
+            results.extend(runner.run(_spec()))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    producer = threading.Thread(target=produce)
+    producer.start()
+    doomed = None
+    rescuer = None
+    try:
+        # Worker 1 claims the first unit and wedges inside it for longer
+        # than this whole test is allowed to take.
+        doomed = _spawn_worker(
+            spool,
+            _worker_env([{"kind": "stall", "unit": 0, "attempt": 1, "seconds": 300}]),
+        )
+        _wait_for(
+            lambda: any(spool.glob("*/*.lease.json")),
+            timeout=60.0,
+            message="worker 1 to claim a unit and write its lease",
+        )
+        os.kill(doomed.pid, signal.SIGKILL)
+        doomed.wait(timeout=30.0)
+
+        # Worker 2 (no faults) reclaims the orphan and drains the batch.
+        rescuer = _spawn_worker(spool, _worker_env())
+        producer.join(timeout=180.0)
+        assert not producer.is_alive(), "producer never collected all units"
+    finally:
+        for proc in (doomed, rescuer):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+        producer.join(timeout=10.0)
+
+    assert not errors, errors
+    recovered_csv = write_sweep_report(results, tmp_path / "recovered.csv")
+    assert recovered_csv.read_bytes() == reference_csv.read_bytes()
