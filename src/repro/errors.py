@@ -53,6 +53,15 @@ class ReportError(ReproError):
     """Raised when a report cannot be generated or written."""
 
 
+class ServiceError(ReproError):
+    """Raised by the sweep service: job server, job manager, and client.
+
+    Subclasses in :mod:`repro.service` refine it (bad job spec, unknown
+    job, queue full, draining) and carry the HTTP status the server
+    maps them to.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised when a simulation unit exhausts its executor attempt budget.
 

@@ -15,6 +15,12 @@ pool (:mod:`repro.run.sweep`), and writes a sweep-report CSV.  The
 ``worker`` subcommand runs the spool worker loop
 (:func:`repro.run.executors.process_spool`) against a shared spool
 directory — the remote half of ``sweep --executor queue``.
+
+The service subcommands turn sweeps into jobs against a long-running
+server (:mod:`repro.service`): ``serve`` runs the crash-safe job server
+over a durable ``--data-dir``, ``submit`` posts a sweep to it (honouring
+429/503 + ``Retry-After`` with capped, jittered backoff), ``status``
+inspects jobs, and ``fetch`` downloads report CSVs.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from repro.core.report import (
     write_layout_sweep_report,
     write_sweep_report,
 )
+from repro.errors import ServiceError
 from repro.run.executors import AVAILABLE_EXECUTORS, make_executor, process_spool
 from repro.run.runner import run_simulation
 from repro.run.sweep import (
@@ -44,6 +51,34 @@ from repro.run.sweep import (
 from repro.store.artifact_store import ArtifactStore
 from repro.topology.models import available_models, get_model
 from repro.topology.topology import Topology
+
+
+def positive_int(raw: str) -> int:
+    """argparse type for options that only make sense strictly positive.
+
+    Central validation for ``--workers``, ``--max-attempts``, ``--scale``
+    and friends: a zero or negative value fails parsing with a clear
+    message instead of surfacing later as a confusing deadlock, divide
+    error, or silently-serial sweep.
+    """
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {raw!r}")
+    return value
+
+
+def positive_float(raw: str) -> float:
+    """argparse type for durations (``--lease-ttl``, ``--poll``, ...)."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {raw!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {raw!r}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        type=int,
+        type=positive_int,
         default=1,
         help="divisor shrinking built-in model dimensions (default 1)",
     )
@@ -121,7 +156,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scale",
-        type=int,
+        type=positive_int,
         default=1,
         help="divisor shrinking built-in model dimensions (default 1)",
     )
@@ -136,7 +171,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
+        type=positive_int,
         default=1,
         help="worker processes for the sweep (default 1 = serial)",
     )
@@ -192,14 +227,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--max-attempts",
-        type=int,
+        type=positive_int,
         default=None,
         help="attempt budget per simulation unit before it is quarantined "
         "(default 3)",
     )
     parser.add_argument(
         "--lease-ttl",
-        type=float,
+        type=positive_float,
         default=None,
         help="queue-executor lease time-to-live in seconds; a worker that "
         "stops heartbeating for this long forfeits its claim (default 300)",
@@ -221,20 +256,20 @@ def build_worker_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--poll",
-        type=float,
+        type=positive_float,
         default=0.5,
         help="seconds to sleep between spool scans (default 0.5)",
     )
     parser.add_argument(
         "--lease-ttl",
-        type=float,
+        type=positive_float,
         default=None,
         help="override the lease TTL used when reclaiming expired claims "
         "(default: each task's own TTL)",
     )
     parser.add_argument(
         "--max-tasks",
-        type=int,
+        type=positive_int,
         default=None,
         help="stop after executing this many units (default: unlimited)",
     )
@@ -247,6 +282,223 @@ def build_worker_parser() -> argparse.ArgumentParser:
         "--reap",
         action="store_true",
         help="also prune batch directories whose producer process is dead",
+    )
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro serve",
+        description="run the crash-safe sweep job server (repro.service) "
+        "over a durable data directory",
+    )
+    parser.add_argument(
+        "--data-dir",
+        required=True,
+        help="root of all durable state: job journals, result cache, "
+        "artifact store, spool; restarting on the same directory recovers "
+        "unfinished jobs",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8537,
+        help="bind port; 0 picks an ephemeral port (default 8537)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=AVAILABLE_EXECUTORS,
+        default="serial",
+        help="execution backend for each job's simulation units (default "
+        "serial); 'queue' spools units through <data-dir>/spool",
+    )
+    parser.add_argument(
+        "--workers",
+        type=positive_int,
+        default=1,
+        help="per-job unit parallelism for the pool executor (default 1)",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=positive_int,
+        default=16,
+        help="admission bound: queued jobs beyond this get 429 + "
+        "Retry-After (default 16)",
+    )
+    parser.add_argument(
+        "--max-active",
+        type=positive_int,
+        default=1,
+        help="jobs running concurrently; the server's unit budget is "
+        "max-active x workers (default 1)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=positive_int,
+        default=None,
+        help="attempt budget per simulation unit before it is quarantined "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=positive_float,
+        default=None,
+        help="queue-executor lease time-to-live in seconds (default 300)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=positive_float,
+        default=30.0,
+        help="seconds SIGTERM waits for running jobs before journaling "
+        "them interrupted (default 30)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the shared artifact store under <data-dir>/store",
+    )
+    parser.add_argument(
+        "--external-workers",
+        action="store_true",
+        help="with --executor queue, don't drain the spool in-process; "
+        "remote 'scale-sim-repro worker --spool <data-dir>/spool' "
+        "processes own execution",
+    )
+    return parser
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``submit`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro submit",
+        description="submit a sweep job to a running server; retries "
+        "429/503 answers honouring Retry-After with capped jittered backoff",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8537",
+        help="server base URL (default http://127.0.0.1:8537)",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("-c", "--config", help="path to a SCALE-Sim style .cfg file")
+    source.add_argument(
+        "--preset", choices=available_presets(), help="named architecture preset"
+    )
+    workload = parser.add_mutually_exclusive_group(required=True)
+    workload.add_argument("-t", "--topology", help="path to a topology CSV")
+    workload.add_argument(
+        "--model", choices=available_models(), help="built-in workload model"
+    )
+    parser.add_argument(
+        "--scale",
+        type=positive_int,
+        default=1,
+        help="divisor shrinking built-in model dimensions (default 1)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="axes",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="sweep axis over a dotted config field (repeatable)",
+    )
+    parser.add_argument(
+        "--name", default="sweep", help="job name used for the report CSV"
+    )
+    parser.add_argument(
+        "--failure-policy",
+        choices=FAILURE_POLICIES,
+        default="degrade",
+        help="server-side policy when a point exhausts its attempts "
+        "(default degrade: finish survivors, report the rest)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=positive_int,
+        default=None,
+        help="attempt budget per simulation unit (default: server's)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=positive_int,
+        default=5,
+        help="client retries for 429/503/connection errors (default 5)",
+    )
+    parser.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=None,
+        help="seed for deterministic retry jitter (default: OS entropy)",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="poll until the job finishes and print its final state",
+    )
+    parser.add_argument(
+        "--poll",
+        type=positive_float,
+        default=0.5,
+        help="seconds between --wait polls (default 0.5)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=positive_float,
+        default=3600.0,
+        help="--wait deadline in seconds (default 3600)",
+    )
+    return parser
+
+
+def build_status_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``status`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro status",
+        description="inspect a running server: job list, one job, or health",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8537",
+        help="server base URL (default http://127.0.0.1:8537)",
+    )
+    parser.add_argument(
+        "job_id", nargs="?", default=None, help="job id (default: list all jobs)"
+    )
+    parser.add_argument(
+        "--health",
+        action="store_true",
+        help="print the /healthz document instead of job status",
+    )
+    return parser
+
+
+def build_fetch_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``fetch`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="scale-sim-repro fetch",
+        description="download a finished job's report CSV",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8537",
+        help="server base URL (default http://127.0.0.1:8537)",
+    )
+    parser.add_argument("job_id", help="job id")
+    parser.add_argument(
+        "--failures",
+        action="store_true",
+        help="fetch the failure report instead of the sweep report",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the CSV here (default: print to stdout)",
     )
     return parser
 
@@ -429,13 +681,151 @@ def worker_main(argv: list[str]) -> int:
     return 0
 
 
+def serve_main(argv: list[str]) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from repro.service import JobManager, serve
+
+    args = build_serve_parser().parse_args(argv)
+    manager = JobManager(
+        args.data_dir,
+        executor_name=args.executor,
+        workers=args.workers,
+        max_queued=args.max_queued,
+        max_active=args.max_active,
+        max_attempts=args.max_attempts,
+        lease_ttl=args.lease_ttl,
+        use_store=not args.no_store,
+        external_workers=args.external_workers,
+    )
+    return serve(
+        manager, host=args.host, port=args.port, drain_timeout=args.drain_timeout
+    )
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the POST /jobs payload from submit-subcommand arguments.
+
+    File arguments are inlined (config text, topology CSV) so the
+    server needs no filesystem shared with the client.
+    """
+    payload: dict = {"name": args.name, "failure_policy": args.failure_policy}
+    if args.config:
+        payload["config_text"] = Path(args.config).read_text(encoding="utf-8")
+    else:
+        payload["preset"] = args.preset
+    if args.topology:
+        topology_path = Path(args.topology)
+        payload["topology_csv"] = topology_path.read_text(encoding="utf-8")
+        payload["topology_name"] = topology_path.stem
+    else:
+        payload["model"] = args.model
+    if args.scale != 1:
+        payload["scale"] = args.scale
+    if args.axes:
+        payload["axes"] = [
+            {"field": axis.name, "values": list(axis.values)}
+            for axis in (_parse_axis(option) for option in args.axes)
+        ]
+    if args.max_attempts is not None:
+        payload["max_attempts"] = args.max_attempts
+    return payload
+
+
+def submit_main(argv: list[str]) -> int:
+    """Entry point of the ``submit`` subcommand."""
+    import json
+
+    from repro.service import ServiceClient
+
+    args = build_submit_parser().parse_args(argv)
+    client = ServiceClient(
+        args.url, max_retries=args.max_retries, backoff_seed=args.backoff_seed
+    )
+    try:
+        job = client.submit(_submit_payload(args))
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted: {job['id']} ({job['name']}, {job['state']})")
+    if not args.wait:
+        return 0
+    final = client.wait(job["id"], timeout=args.timeout, poll=args.poll)
+    progress = final["progress"]
+    print(
+        f"finished:  {final['id']} {final['state']} "
+        f"({progress['units_done']}/{progress['units_total']} units, "
+        f"{final['rows']} rows, {len(final['failures'])} failures)"
+    )
+    if final.get("error"):
+        print(json.dumps(final["error"], indent=2), file=sys.stderr)
+    return 0 if final["state"] in ("done", "degraded") else 1
+
+
+def status_main(argv: list[str]) -> int:
+    """Entry point of the ``status`` subcommand."""
+    import json
+
+    from repro.service import ServiceClient
+
+    args = build_status_parser().parse_args(argv)
+    client = ServiceClient(args.url, max_retries=0)
+    try:
+        if args.health:
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        if args.job_id is None:
+            jobs = client.list_jobs()
+            for job in jobs:
+                done = job["units_done"]
+                total = job["units_total"] if job["units_total"] is not None else "?"
+                print(f"{job['id']}  {job['state']:9s}  {done}/{total}  {job['name']}")
+            if not jobs:
+                print("no jobs")
+            return 0
+        print(json.dumps(client.status(args.job_id), indent=2, sort_keys=True))
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def fetch_main(argv: list[str]) -> int:
+    """Entry point of the ``fetch`` subcommand."""
+    from repro.service import ServiceClient
+
+    args = build_fetch_parser().parse_args(argv)
+    client = ServiceClient(args.url, max_retries=0)
+    which = "failures" if args.failures else "report"
+    try:
+        body = client.fetch_report(args.job_id, which=which)
+    except ServiceError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 1
+    if args.output is None:
+        sys.stdout.write(body.decode("utf-8"))
+    else:
+        out_path = Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_bytes(body)
+        print(f"wrote {out_path} ({len(body)} bytes)")
+    return 0
+
+
+_SUBCOMMANDS = {
+    "sweep": sweep_main,
+    "worker": worker_main,
+    "serve": serve_main,
+    "submit": submit_main,
+    "status": status_main,
+    "fetch": fetch_main,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "sweep":
-        return sweep_main(argv[1:])
-    if argv and argv[0] == "worker":
-        return worker_main(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     config = load_config(args.config) if args.config else get_preset(args.preset)
     config = _with_engine(config, args.engine)

@@ -55,6 +55,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import random
 import re
 import socket
 import threading
@@ -91,9 +92,22 @@ DEFAULT_BACKOFF_BASE = 0.05
 BACKOFF_CAP = 5.0
 
 
-def _backoff_seconds(base: float, retry_number: int) -> float:
-    """Exponential backoff before retry ``retry_number`` (1-based)."""
-    return min(base * (2.0 ** (retry_number - 1)), BACKOFF_CAP)
+def _backoff_seconds(
+    base: float, retry_number: int, rng: random.Random | None = None
+) -> float:
+    """Exponential backoff before retry ``retry_number`` (1-based).
+
+    With ``rng`` the capped exponential sleep is scaled by a uniform
+    draw in ``[0.5, 1.0]`` ("equal jitter"), so many producers retrying
+    against the same spool (or many clients retrying against the same
+    server) spread out instead of thundering in lockstep.  Passing a
+    seeded :class:`random.Random` makes the jitter sequence
+    deterministic — the fault-injection fuzz stays reproducible.
+    """
+    seconds = min(base * (2.0 ** (retry_number - 1)), BACKOFF_CAP)
+    if rng is not None:
+        seconds *= 0.5 + 0.5 * rng.random()
+    return seconds
 
 
 def _pid_alive(pid: int) -> bool:
@@ -234,26 +248,50 @@ class SerialExecutor:
         self,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_seed: int | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
+        self._backoff_rng = random.Random(backoff_seed)
 
     def map_units(self, fn: Callable, units: Sequence) -> list:
         return [fn(unit) for unit in units]
 
-    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
-        """Like :meth:`map_units`, but per-unit outcomes never raise."""
+    def map_units_enveloped(
+        self,
+        fn: Callable,
+        units: Sequence,
+        progress: Callable[[int, int], None] | None = None,
+        unit_done: Callable[[int, ResultEnvelope], None] | None = None,
+    ) -> list[ResultEnvelope]:
+        """Like :meth:`map_units`, but per-unit outcomes never raise.
+
+        ``progress(done, total)`` fires after each unit reaches its
+        terminal envelope; an exception it raises aborts the map (the
+        sweep service uses exactly that for cooperative cancellation).
+        ``unit_done(index, envelope)`` fires once per unit with its
+        terminal envelope, as soon as it exists — the sweep runner uses
+        it to persist completed work before the batch finishes, so a
+        crash mid-batch only loses in-flight units.
+        """
+        units = list(units)
         envelopes = []
         for index, unit in enumerate(units):
             envelope = run_attempt(fn, unit, index, 1)
             for attempt in range(2, self.max_attempts + 1):
                 if envelope.ok:
                     break
-                time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+                time.sleep(
+                    _backoff_seconds(self.backoff_base, attempt - 1, self._backoff_rng)
+                )
                 envelope = run_attempt(fn, unit, index, attempt)
             envelopes.append(envelope)
+            if unit_done is not None:
+                unit_done(index, envelope)
+            if progress is not None:
+                progress(len(envelopes), len(units))
         return envelopes
 
 
@@ -283,6 +321,7 @@ class PoolExecutor:
         workers: int,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_seed: int | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -291,34 +330,64 @@ class PoolExecutor:
         self.workers = workers
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
+        self._backoff_rng = random.Random(backoff_seed)
 
     def map_units(self, fn: Callable, units: Sequence) -> list:
         return [env.unwrap() for env in self.map_units_enveloped(fn, units)]
 
-    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
-        """Enveloped map: per-unit outcomes, failures retried then kept."""
+    def map_units_enveloped(
+        self,
+        fn: Callable,
+        units: Sequence,
+        progress: Callable[[int, int], None] | None = None,
+        unit_done: Callable[[int, ResultEnvelope], None] | None = None,
+    ) -> list[ResultEnvelope]:
+        """Enveloped map: per-unit outcomes, failures retried then kept.
+
+        ``progress(done, total)`` counts units whose envelope is
+        terminal — a success, or a failure with no retry budget left.
+        ``unit_done(index, envelope)`` fires once per unit the moment
+        its envelope turns terminal (crash-safe incremental persistence
+        in the sweep runner).
+        """
         units = list(units)
         if not units:
             return []
+        done = 0
         if self.workers == 1 or len(units) == 1:
-            return [
-                self._attempts_in_process(fn, index, unit)
-                for index, unit in enumerate(units)
-            ]
+            envelopes = []
+            for index, unit in enumerate(units):
+                envelope = self._attempts_in_process(fn, index, unit)
+                envelopes.append(envelope)
+                done += 1
+                if unit_done is not None:
+                    unit_done(index, envelope)
+                if progress is not None:
+                    progress(done, len(units))
+            return envelopes
         envelopes: list[ResultEnvelope | None] = [None] * len(units)
         pending = list(range(len(units)))
         for attempt in range(1, self.max_attempts + 1):
             if attempt > 1:
-                time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+                time.sleep(
+                    _backoff_seconds(self.backoff_base, attempt - 1, self._backoff_rng)
+                )
             jobs = [(fn, index, units[index], attempt) for index in pending]
             processes = min(self.workers, len(jobs))
-            with pool_context().Pool(processes=processes) as pool:
-                round_envelopes = pool.map(_pool_attempt, jobs, chunksize=1)
             still_failing = []
-            for index, envelope in zip(pending, round_envelopes):
-                envelopes[index] = envelope
-                if not envelope.ok:
-                    still_failing.append(index)
+            with pool_context().Pool(processes=processes) as pool:
+                for index, envelope in zip(
+                    pending, pool.imap(_pool_attempt, jobs, chunksize=1)
+                ):
+                    envelopes[index] = envelope
+                    if not envelope.ok:
+                        still_failing.append(index)
+                    if envelope.ok or attempt == self.max_attempts:
+                        done += 1
+                        if unit_done is not None:
+                            unit_done(index, envelope)
+                        if progress is not None:
+                            progress(done, len(units))
             pending = still_failing
             if not pending:
                 break
@@ -332,7 +401,9 @@ class PoolExecutor:
         for attempt in range(2, self.max_attempts + 1):
             if envelope.ok:
                 break
-            time.sleep(_backoff_seconds(self.backoff_base, attempt - 1))
+            time.sleep(
+                _backoff_seconds(self.backoff_base, attempt - 1, self._backoff_rng)
+            )
             envelope = run_attempt(fn, unit, index, attempt, workers=self.workers)
         return envelope
 
@@ -518,6 +589,43 @@ def reclaim_expired(spool_dir: str | Path, lease_ttl: float | None = None) -> in
     return reclaimed
 
 
+def release_claims(spool_dir: str | Path, owner_pid: int | None = None) -> int:
+    """Hand this process's spool claims back as claimable tasks.
+
+    The voluntary counterpart of :func:`reclaim_expired`: a draining
+    process (the sweep service on SIGTERM) releases the claims it still
+    holds so surviving workers — including cross-host ones that cannot
+    observe pid death and would otherwise wait out the lease TTL — pick
+    the units up immediately.  Same claim-by-rename discipline, so a
+    concurrent reclaimer can never double-resurrect a task.  Returns
+    the number of claims released.
+    """
+    spool_dir = Path(spool_dir)
+    pid = os.getpid() if owner_pid is None else owner_pid
+    released = 0
+    for claim in sorted(spool_dir.glob(f"*/unit_*{_TASK_SUFFIX}.claim.{pid}")):
+        if not _is_claim_file(claim):
+            continue
+        token = claim.with_name(claim.name + f".reclaim.{os.getpid()}")
+        try:
+            claim.rename(token)
+        except OSError:
+            continue  # finished or reclaimed under us
+        task = load_pickle_guarded(token)
+        _lease_path(claim).unlink(missing_ok=True)
+        token.unlink(missing_ok=True)
+        if task is None:
+            continue
+        if isinstance(task, TaskRecord):
+            task = dataclasses.replace(task, attempt=task.attempt + 1)
+        try:
+            dump_pickle_atomic(_claim_task_path(claim), task)
+        except OSError:  # pragma: no cover - batch retired mid-release
+            continue
+        released += 1
+    return released
+
+
 def reap_dead_batches(spool_dir: str | Path) -> int:
     """Prune batch directories whose producer can never collect them.
 
@@ -686,6 +794,7 @@ class QueueExecutor:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_seed: int | None = None,
     ) -> None:
         if poll_interval <= 0:
             raise ConfigError(f"poll_interval must be > 0, got {poll_interval}")
@@ -701,6 +810,7 @@ class QueueExecutor:
         self.max_attempts = max_attempts
         self.lease_ttl = lease_ttl
         self.backoff_base = backoff_base
+        self._backoff_rng = random.Random(backoff_seed)
         self._batch_serial = 0
 
     @property
@@ -723,8 +833,22 @@ class QueueExecutor:
     def map_units(self, fn: Callable, units: Sequence) -> list:
         return [env.unwrap() for env in self.map_units_enveloped(fn, units)]
 
-    def map_units_enveloped(self, fn: Callable, units: Sequence) -> list[ResultEnvelope]:
-        """Enveloped map: per-unit outcomes, terminal failures kept."""
+    def map_units_enveloped(
+        self,
+        fn: Callable,
+        units: Sequence,
+        progress: Callable[[int, int], None] | None = None,
+        unit_done: Callable[[int, ResultEnvelope], None] | None = None,
+    ) -> list[ResultEnvelope]:
+        """Enveloped map: per-unit outcomes, terminal failures kept.
+
+        ``progress(done, total)`` fires from the supervision loop on
+        every poll pass (with whatever count has arrived so far), so a
+        caller can use it both as a completion signal and as a
+        cancellation poll while external workers hold the units.
+        ``unit_done(index, envelope)`` fires once per unit as its
+        terminal envelope is collected from the spool.
+        """
         units = list(units)
         if not units:
             return []
@@ -743,7 +867,9 @@ class QueueExecutor:
         try:
             for task_path, record in zip(task_paths, records):
                 dump_pickle_atomic(task_path, record)
-            return self._supervise(batch_dir, task_paths, records)
+            return self._supervise(
+                batch_dir, task_paths, records, progress=progress, unit_done=unit_done
+            )
         finally:
             self._cleanup(batch_dir, task_paths)
 
@@ -772,10 +898,16 @@ class QueueExecutor:
     # ------------------------------------------------------- supervision
 
     def _supervise(
-        self, batch_dir: Path, task_paths: list[Path], records: list[TaskRecord]
+        self,
+        batch_dir: Path,
+        task_paths: list[Path],
+        records: list[TaskRecord],
+        progress: Callable[[int, int], None] | None = None,
+        unit_done: Callable[[int, ResultEnvelope], None] | None = None,
     ) -> list[ResultEnvelope]:
         """The producer loop: collect, retry, reclaim, quarantine."""
         envelopes: dict[int, ResultEnvelope] = {}
+        announced: set[int] = set()
         enqueued_attempt = {index: 1 for index in range(len(task_paths))}
         requeue_after: dict[int, tuple[float, TaskRecord]] = {}
         deadline = (
@@ -797,6 +929,12 @@ class QueueExecutor:
                 self._check_unit(
                     index, task_path, records, envelopes, enqueued_attempt, requeue_after
                 )
+            if unit_done is not None:
+                for index in sorted(envelopes.keys() - announced):
+                    announced.add(index)
+                    unit_done(index, envelopes[index])
+            if progress is not None:
+                progress(len(envelopes), len(task_paths))
             if len(envelopes) == len(task_paths):
                 break
             if deadline is not None and time.monotonic() > deadline:
@@ -876,7 +1014,9 @@ class QueueExecutor:
             )
             return
         record = dataclasses.replace(records[index], attempt=next_attempt)
-        due = time.monotonic() + _backoff_seconds(self.backoff_base, next_attempt - 1)
+        due = time.monotonic() + _backoff_seconds(
+            self.backoff_base, next_attempt - 1, self._backoff_rng
+        )
         requeue_after[index] = (due, record)
 
     def _in_flight(self, task_path: Path) -> bool:
@@ -970,5 +1110,6 @@ __all__ = [
     "process_spool",
     "reap_dead_batches",
     "reclaim_expired",
+    "release_claims",
     "run_attempt",
 ]

@@ -46,10 +46,11 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import inspect
 import itertools
 import json
 import time
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -757,6 +758,11 @@ class SweepRunner:
             (transient faults are retried with backoff before a failure
             becomes terminal); an explicit ``executor`` carries its own
             budget instead.
+        progress: optional ``progress(done_units, total_units)``
+            callback fired as simulation units reach terminal outcomes
+            (``(0, total)`` fires before dispatch).  An exception it
+            raises aborts the run — the sweep service's cooperative
+            cancellation hangs off exactly that.
     """
 
     def __init__(
@@ -767,6 +773,7 @@ class SweepRunner:
         store: ArtifactStore | None = None,
         failure_policy: str = "raise",
         max_attempts: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -795,6 +802,7 @@ class SweepRunner:
         self.workers = getattr(executor, "workers", 1)
         self.store = store
         self.failure_policy = failure_policy
+        self.progress = progress
         self.cache = cache if cache is not None else ResultCache()
         #: Points the most recent ``degrade``-policy :meth:`run` could
         #: not compute, as :class:`SweepFailure` rows in index order
@@ -808,6 +816,10 @@ class SweepRunner:
         #: A :class:`SweepGrouping`, so per-unit fan-out detail rides
         #: along in ``last_grouping.units``.  ``None`` before any run.
         self.last_grouping: SweepGrouping | None = None
+        #: Content keys the current run already wrote to the cache via
+        #: the per-unit ``unit_done`` hook (crash-safe incremental
+        #: persistence); :meth:`run` skips re-writing these at the end.
+        self._persisted: set[str] = set()
 
     def run(self, spec: SweepSpec) -> list[SweepResult]:
         """Run every grid point; results come back ordered by index.
@@ -843,14 +855,19 @@ class SweepRunner:
             else:
                 unique[key] = point
 
-        computed = self._compute(list(unique.values()), spec.simulate_dense)
+        self._persisted: set[str] = set()
+        computed = self._compute(
+            list(unique.values()), spec.simulate_dense, keys=list(unique)
+        )
         failed_keys: dict[str, UnitFailure] = {}
         for key, envelope in zip(unique, computed):
             if envelope.ok:
                 # Successes are cached even when a sibling failed, so a
                 # re-run (or a degrade-policy retry) resumes instead of
-                # re-simulating the healthy points.
-                self.cache.put(key, envelope.value)
+                # re-simulating the healthy points.  Units persisted
+                # incrementally by the unit_done hook are already on disk.
+                if key not in self._persisted:
+                    self.cache.put(key, envelope.value)
             else:
                 assert envelope.failure is not None
                 failed_keys[key] = envelope.failure
@@ -913,7 +930,10 @@ class SweepRunner:
         return payload
 
     def _compute(
-        self, points: list[SweepPoint], simulate_dense: bool
+        self,
+        points: list[SweepPoint],
+        simulate_dense: bool,
+        keys: list[str] | None = None,
     ) -> list[ResultEnvelope]:
         """Dispatch the cache-missed points; one envelope per point.
 
@@ -922,6 +942,15 @@ class SweepRunner:
         success envelopes carry the member's :class:`_PointPayload`.
         Executors without the enveloped entry point keep the original
         raise-through contract.
+
+        With ``keys`` (content keys aligned with ``points``) and an
+        executor that supports the ``unit_done`` hook, each unit's
+        member payloads are written to the cache the moment the unit
+        completes — crash-safe incremental persistence: a process
+        killed mid-batch re-simulates only the units still in flight,
+        because everything finished is already on disk.  Keys persisted
+        this way land in :attr:`_persisted` so :meth:`run` skips the
+        (idempotent but wasteful) end-of-batch re-write.
         """
         if not points:
             return []
@@ -935,9 +964,26 @@ class SweepRunner:
             else _simulate_unit
         )
         unit_args = [unit[1] for unit in units]
+        if self.progress is not None:
+            self.progress(0, len(units))
         enveloped_map = getattr(self.executor, "map_units_enveloped", None)
         if enveloped_map is not None:
-            unit_envelopes = enveloped_map(fn, unit_args)
+            parameters = inspect.signature(enveloped_map).parameters
+            kwargs = {}
+            if self.progress is not None and "progress" in parameters:
+                kwargs["progress"] = self.progress
+            if keys is not None and "unit_done" in parameters:
+
+                def persist_unit(unit_index: int, envelope: ResultEnvelope) -> None:
+                    if not envelope.ok:
+                        return
+                    members = units[unit_index][0]
+                    for position, payload in zip(members, envelope.value):
+                        self.cache.put(keys[position], payload)
+                        self._persisted.add(keys[position])
+
+                kwargs["unit_done"] = persist_unit
+            unit_envelopes = enveloped_map(fn, unit_args, **kwargs)
         else:
             unit_envelopes = [
                 ResultEnvelope(ok=True, value=value)

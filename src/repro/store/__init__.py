@@ -4,12 +4,14 @@ from repro.store.artifact_store import (
     STORE_SCHEMA_VERSION,
     ArtifactStore,
     active_store,
+    append_json_line,
     canonical_artifact,
     content_address,
     dump_json_atomic,
     dump_pickle_atomic,
     load_json_guarded,
     load_pickle_guarded,
+    read_json_lines,
     set_active_store,
 )
 
@@ -17,11 +19,13 @@ __all__ = [
     "ArtifactStore",
     "STORE_SCHEMA_VERSION",
     "active_store",
+    "append_json_line",
     "canonical_artifact",
     "content_address",
     "dump_json_atomic",
     "dump_pickle_atomic",
     "load_json_guarded",
     "load_pickle_guarded",
+    "read_json_lines",
     "set_active_store",
 ]

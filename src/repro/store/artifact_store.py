@@ -120,6 +120,52 @@ def dump_json_atomic(path: Path, payload: dict) -> None:
             pass
 
 
+def append_json_line(path: Path, payload: dict) -> None:
+    """Append one JSON object as a line to an append-only journal.
+
+    Unlike the replace-based writers above, journals grow by appending:
+    the record is written as a single ``write`` call on an ``O_APPEND``
+    handle and fsynced, so concurrent appenders never interleave within
+    a line and a crash can tear at most the final line — which
+    :func:`read_json_lines` then skips.  The payload must be a single
+    JSON object with no embedded newlines.
+    """
+    line = json.dumps(payload, sort_keys=True, default=str)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_json_lines(path: Path) -> list[dict]:
+    """Replay an append-only JSON-lines journal, tolerating a torn tail.
+
+    A line that fails to decode (a writer SIGKILLed mid-append, a disk
+    error) ends the replay: everything before it is returned, everything
+    from it on is ignored.  Only the *suffix* is dropped — a corrupt
+    line mid-file would hide later events, but appends are single
+    ``write`` calls so corruption can only be a tail.  A missing file
+    reads as an empty journal.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return []
+    events: list[dict] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            break
+        if not isinstance(payload, dict):
+            break
+        events.append(payload)
+    return events
+
+
 def canonical_artifact(value: object) -> object:
     """A JSON-ready canonical rendering of an artifact-key ingredient.
 
@@ -225,11 +271,13 @@ __all__ = [
     "ArtifactStore",
     "STORE_SCHEMA_VERSION",
     "active_store",
+    "append_json_line",
     "canonical_artifact",
     "content_address",
     "dump_json_atomic",
     "dump_pickle_atomic",
     "load_json_guarded",
     "load_pickle_guarded",
+    "read_json_lines",
     "set_active_store",
 ]

@@ -1,0 +1,93 @@
+"""Deterministic, seedable retry jitter across executors and client.
+
+Satellite of the service PR: every retry sleep in the system —
+executor attempt backoff, queue-executor requeue delay, client
+429/503 retries — flows through
+:func:`repro.run.executors._backoff_seconds`, which applies equal
+jitter (a uniform scale in ``[0.5, 1.0]``) from an injectable
+``random.Random``.  Seeded, the whole schedule is reproducible; the
+fuzz and fault-injection suites rely on that.
+"""
+
+import random
+
+from repro.run.executors import (
+    BACKOFF_CAP,
+    PoolExecutor,
+    QueueExecutor,
+    SerialExecutor,
+    _backoff_seconds,
+)
+
+
+def test_unjittered_backoff_is_exponential_and_capped():
+    assert _backoff_seconds(0.5, 1) == 0.5
+    assert _backoff_seconds(0.5, 2) == 1.0
+    assert _backoff_seconds(0.5, 3) == 2.0
+    assert _backoff_seconds(0.5, 10) == BACKOFF_CAP
+
+
+def test_jitter_stays_in_equal_jitter_band():
+    rng = random.Random(123)
+    for retry in range(1, 12):
+        bare = _backoff_seconds(1.0, retry)
+        jittered = _backoff_seconds(1.0, retry, rng)
+        assert 0.5 * bare <= jittered <= bare
+
+
+def test_seeded_jitter_is_deterministic():
+    first = [_backoff_seconds(1.0, n, random.Random(7)) for n in range(1, 6)]
+    second = [_backoff_seconds(1.0, n, random.Random(7)) for n in range(1, 6)]
+    assert first == second
+
+    # A sequential draw from one rng differs draw to draw (it is jitter,
+    # not a constant factor) but replays identically under the same seed.
+    rng_a, rng_b = random.Random(7), random.Random(7)
+    seq_a = [_backoff_seconds(1.0, 1, rng_a) for _ in range(5)]
+    seq_b = [_backoff_seconds(1.0, 1, rng_b) for _ in range(5)]
+    assert seq_a == seq_b
+    assert len(set(seq_a)) > 1
+
+
+def test_different_seeds_decorrelate():
+    seq_a = [_backoff_seconds(1.0, 1, random.Random(1)) for _ in range(3)]
+    seq_b = [_backoff_seconds(1.0, 1, random.Random(2)) for _ in range(3)]
+    assert seq_a != seq_b
+
+
+def test_executors_accept_backoff_seed(tmp_path):
+    # The seed threads through each executor's constructor to a private
+    # random.Random; two same-seed instances carry identical rng state.
+    for make in (
+        lambda: SerialExecutor(backoff_seed=5),
+        lambda: PoolExecutor(2, backoff_seed=5),
+        lambda: QueueExecutor(tmp_path / "spool", backoff_seed=5),
+    ):
+        first, second = make(), make()
+        assert first._backoff_rng.random() == second._backoff_rng.random()
+
+
+def test_seeded_serial_executor_retry_schedule_is_reproducible(monkeypatch):
+    import repro.run.executors as executors_module
+
+    def flaky_factory():
+        calls = {"n": 0}
+
+        def flaky(unit):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return unit
+
+        return flaky
+
+    schedules = []
+    for _ in range(2):
+        sleeps: list[float] = []
+        monkeypatch.setattr(executors_module.time, "sleep", sleeps.append)
+        executor = SerialExecutor(max_attempts=3, backoff_seed=99)
+        [envelope] = executor.map_units_enveloped(flaky_factory(), ["u"])
+        assert envelope.ok and envelope.value == "u"
+        schedules.append(tuple(sleeps))
+    assert schedules[0] == schedules[1]
+    assert len(schedules[0]) == 2  # two retries -> two jittered sleeps

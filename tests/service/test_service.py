@@ -1,0 +1,363 @@
+"""Fast-lane service tests: spec validation, HTTP round trips, admission.
+
+Everything here runs in-process: the real ThreadingHTTPServer on an
+ephemeral port, the real client, and — where execution speed matters —
+the ``job_runner`` test seam replacing actual simulation so admission,
+cancellation, and drain semantics can be exercised without sweeps.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
+from repro.config.presets import get_preset
+from repro.core.report import write_sweep_report
+from repro.service import (
+    InvalidJobError,
+    JobManager,
+    ServiceClient,
+    start_server,
+)
+from repro.service.jobs import JobSpec
+from repro.topology.models import toy_gemm
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server over a real JobManager; yields (manager, client)."""
+    manager = JobManager(tmp_path / "data", max_queued=8, max_active=1)
+    httpd, thread = start_server(manager)
+    client = ServiceClient(
+        f"http://127.0.0.1:{httpd.server_address[1]}",
+        max_retries=0,
+        backoff_seed=0,
+    )
+    yield manager, client
+    httpd.shutdown()
+    manager.drain(timeout=10.0)
+
+
+def _stub_service(tmp_path, job_runner, **kwargs):
+    manager = JobManager(tmp_path / "data", job_runner=job_runner, **kwargs)
+    httpd, thread = start_server(manager)
+    client = ServiceClient(
+        f"http://127.0.0.1:{httpd.server_address[1]}",
+        max_retries=0,
+        backoff_seed=0,
+    )
+    return manager, httpd, client
+
+
+_PAYLOAD = {
+    "name": "smoke",
+    "preset": "scale_sim_v2_default",
+    "model": "toy_gemm",
+    "axes": {"arch.dataflow": ["os", "ws"]},
+}
+
+
+# ------------------------------------------------------------- validation
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"preset": None},                            # no config source
+        {"config_text": "[general]"},                # both config sources
+        {"model": None},                             # no workload
+        {"topology_csv": "Layer,M,N,K\n"},           # both workloads
+        {"name": "../escape"},                       # path-unsafe name
+        {"scale": 0},
+        {"scale": True},
+        {"axes": {"arch.dataflow": []}},
+        {"axes": [{"field": "x"}]},
+        {"axes": {"": [1]}},
+        {"axes": {"arch.dataflow": [[1, 2]]}},
+        {"failure_policy": "explode"},
+        {"max_attempts": 0},
+        {"preset": "no_such_preset"},
+        {"model": "no_such_model"},
+        {"bogus_field": 1},
+    ],
+)
+def test_job_spec_rejects_bad_payloads(mutation):
+    payload = dict(_PAYLOAD)
+    for key, value in mutation.items():
+        if value is None:
+            payload.pop(key, None)
+        else:
+            payload[key] = value
+    with pytest.raises(InvalidJobError):
+        JobSpec.from_payload(payload)
+
+
+def test_job_spec_round_trips_through_payload():
+    spec = JobSpec.from_payload(_PAYLOAD)
+    again = JobSpec.from_payload(spec.to_payload())
+    assert again.to_payload() == spec.to_payload()
+    assert again.failure_policy == "degrade"  # the service default
+
+
+def test_job_spec_rejects_non_object_payload():
+    with pytest.raises(InvalidJobError):
+        JobSpec.from_payload(["not", "an", "object"])
+
+
+# ------------------------------------------------------- end-to-end smoke
+
+
+def test_submit_wait_fetch_matches_direct_run(service, tmp_path):
+    manager, client = service
+    job = client.submit(_PAYLOAD)
+    assert job["state"] in ("queued", "running")
+    final = client.wait(job["id"], timeout=120.0)
+    assert final["state"] == "done"
+    assert final["rows"] == 2
+    assert final["progress"] == {"units_done": 2, "units_total": 2}
+
+    spec = SweepSpec(
+        base=get_preset("scale_sim_v2_default"),
+        axes=[Axis("arch.dataflow", ("os", "ws"))],
+        topologies=[toy_gemm()],
+        name="smoke",
+    )
+    reference = write_sweep_report(SweepRunner().run(spec), tmp_path / "ref.csv")
+    assert client.fetch_report(job["id"]) == reference.read_bytes()
+
+    # A second identical job is pure cache hits, visible in /healthz.
+    second = client.submit(_PAYLOAD)
+    client.wait(second["id"], timeout=60.0)
+    health = client.health()
+    assert health["result_cache"]["hits"] >= 2
+    assert health["jobs"]["done"] == 2
+    assert health["artifact_store"] is not None
+
+
+def test_unknown_routes_and_jobs_are_404(service):
+    manager, client = service
+    with pytest.raises(ServiceError, match="404"):
+        client.status("doesnotexist")
+    with pytest.raises(ServiceError, match="404"):
+        client._call("GET", "/no/such/route")
+
+
+def test_failed_job_reports_error(service):
+    manager, client = service
+    payload = dict(_PAYLOAD, axes={"no.such_field": [1, 2]})
+    job = client.submit(payload)
+    final = client.wait(job["id"], timeout=60.0)
+    assert final["state"] == "failed"
+    assert "error" in final
+
+
+# ------------------------------------------------- admission and capacity
+
+
+def test_queue_full_returns_429_with_retry_after(tmp_path):
+    release = threading.Event()
+
+    def blocked_runner(manager, job):
+        release.wait(timeout=30.0)
+
+    manager, httpd, client = _stub_service(
+        tmp_path, blocked_runner, max_queued=1, max_active=1
+    )
+    try:
+        first = client.submit(_PAYLOAD)   # occupies the single worker
+        deadline = time.monotonic() + 10.0
+        while manager.get(first["id"]).state != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        client.submit(_PAYLOAD)           # occupies the single queue slot
+
+        # The bound is hit: a raw request must see 429 + Retry-After.
+        status, headers, body = client._request("POST", "/jobs", _PAYLOAD)
+        assert status == 429
+        assert int(headers["Retry-After"]) >= 1
+        assert json.loads(body)["error"] == "QueueFullError"
+
+        # The retrying client turns the schedule into success once the
+        # worker frees up.
+        patient = ServiceClient(
+            client.base_url, max_retries=8, backoff_seed=7,
+            sleep=lambda s: (time.sleep(min(s, 0.05)), release.set()),
+        )
+        third = patient.submit(_PAYLOAD)
+        assert patient.wait(third["id"], timeout=30.0)["state"] == "done"
+    finally:
+        release.set()
+        httpd.shutdown()
+        manager.drain(timeout=10.0)
+
+
+def test_drain_stops_admission_and_flips_readyz(tmp_path):
+    manager, httpd, client = _stub_service(tmp_path, lambda m, j: None)
+    try:
+        assert client.ready()
+        manager.begin_drain()
+        assert not client.ready()
+        status, headers, body = client._request("POST", "/jobs", _PAYLOAD)
+        assert status == 503
+        assert client.health()["status"] == "draining"
+        assert manager.drain(timeout=10.0) is True
+    finally:
+        httpd.shutdown()
+
+
+def test_cancel_queued_and_running_jobs(tmp_path):
+    started = threading.Event()
+    release = threading.Event()
+
+    def blocked_runner(manager, job):
+        started.set()
+        while not release.wait(timeout=0.02):
+            if job.cancel_requested.is_set():
+                from repro.service.jobs import JobCancelled
+
+                raise JobCancelled()
+
+    manager, httpd, client = _stub_service(
+        tmp_path, blocked_runner, max_queued=4, max_active=1
+    )
+    try:
+        running = client.submit(_PAYLOAD)
+        assert started.wait(timeout=10.0)
+        queued = client.submit(_PAYLOAD)
+
+        cancelled = client.cancel(queued["id"])
+        assert cancelled["state"] == "cancelled"
+
+        client.cancel(running["id"])
+        final = client.wait(running["id"], timeout=30.0)
+        assert final["state"] == "cancelled"
+
+        # Cancelling a terminal job is a 409 conflict.
+        with pytest.raises(ServiceError, match="409"):
+            client.cancel(queued["id"])
+    finally:
+        release.set()
+        httpd.shutdown()
+        manager.drain(timeout=10.0)
+
+
+# ------------------------------------------------------ in-process recovery
+
+
+def test_restart_recovers_unfinished_jobs(tmp_path):
+    data_dir = tmp_path / "data"
+    interrupt = threading.Event()
+
+    def dying_runner(manager, job):
+        interrupt.set()
+        threading.Event().wait()  # the "crash" below abandons this daemon thread
+
+    manager1 = JobManager(data_dir, job_runner=dying_runner)
+    manager1.start()
+    job = manager1.submit(_PAYLOAD)
+    assert interrupt.wait(timeout=10.0)
+    # No drain, no journal terminal event: manager1's process "dies" here
+    # (the daemon worker thread is simply abandoned).
+
+    done = threading.Event()
+
+    def instant_runner(manager, job):
+        job.rows = 0
+        done.set()
+
+    manager2 = JobManager(data_dir, job_runner=instant_runner)
+    manager2.start()
+    recovered = manager2.get(job.id)
+    assert recovered.recovered is True
+    assert done.wait(timeout=10.0)
+    deadline = time.monotonic() + 10.0
+    while recovered.state != "done":
+        assert time.monotonic() < deadline
+        time.sleep(0.01)
+    events = [event["event"] for event in recovered.journal.replay()]
+    assert "recovered" in events
+    assert events.count("started") == 2  # one per attempt, across processes
+    assert manager2.drain(timeout=10.0) is True
+
+
+def test_restart_loads_finished_jobs_as_history(tmp_path):
+    data_dir = tmp_path / "data"
+    manager1 = JobManager(data_dir, job_runner=lambda m, j: None)
+    manager1.start()
+    job = manager1.submit(_PAYLOAD)
+    deadline = time.monotonic() + 10.0
+    while job.state != "done":
+        assert time.monotonic() < deadline
+        time.sleep(0.01)
+    assert manager1.drain(timeout=10.0) is True
+
+    manager2 = JobManager(data_dir, job_runner=lambda m, j: None)
+    assert manager2.recover() == 0  # nothing owed
+    history = manager2.get(job.id)
+    assert history.state == "done"
+    assert history.recovered is False
+
+
+# ------------------------------------------------------------ client seams
+
+
+def test_client_retry_honours_retry_after_and_is_deterministic():
+    answers = [
+        (429, {"Retry-After": "3"}, b'{"error": "QueueFullError"}'),
+        (429, {}, b'{"error": "QueueFullError"}'),
+        (200, {}, b'{"ok": true}'),
+    ]
+    sleeps: list[float] = []
+    client = ServiceClient(
+        "http://unused", max_retries=5, backoff_seed=42,
+        sleep=sleeps.append, backoff_base=0.5,
+    )
+    client._request = lambda *a, **k: answers.pop(0)
+    assert client._call("GET", "/jobs") == {"ok": True}
+    assert len(sleeps) == 2
+    assert sleeps[0] == 3.0  # Retry-After dominates the small first backoff
+    assert 0.5 <= sleeps[1] <= 1.0  # jittered second backoff, no header
+
+    # Same seed, same schedule.
+    sleeps2: list[float] = []
+    client2 = ServiceClient(
+        "http://unused", max_retries=5, backoff_seed=42,
+        sleep=sleeps2.append, backoff_base=0.5,
+    )
+    answers2 = [
+        (429, {"Retry-After": "3"}, b"{}"),
+        (429, {}, b"{}"),
+        (200, {}, b'{"ok": true}'),
+    ]
+    client2._request = lambda *a, **k: answers2.pop(0)
+    client2._call("GET", "/jobs")
+    assert sleeps2 == sleeps
+
+
+def test_client_gives_up_after_max_retries():
+    client = ServiceClient(
+        "http://unused", max_retries=2, backoff_seed=0, sleep=lambda s: None
+    )
+    client._request = lambda *a, **k: (503, {}, b'{"error": "DrainingError"}')
+    with pytest.raises(ServiceError, match="3 attempt"):
+        client._call("POST", "/jobs", {})
+
+
+def test_client_retries_connection_errors():
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise ConnectionError("refused")
+        return 200, {}, b'{"ok": true}'
+
+    client = ServiceClient(
+        "http://unused", max_retries=5, backoff_seed=0, sleep=lambda s: None
+    )
+    client._request = flaky
+    assert client._call("GET", "/healthz") == {"ok": True}

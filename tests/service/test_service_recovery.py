@@ -1,0 +1,200 @@
+"""Crash-recovery integration tests: the real server process dies.
+
+The full robustness story, no in-process shortcuts:
+
+* **SIGKILL mid-job** — a server subprocess accepts a two-unit sweep,
+  finishes unit 0 (cached on disk), and wedges inside unit 1 thanks to
+  an armed stall fault.  SIGKILL takes it out with no cleanup.  A
+  second server on the same ``--data-dir`` replays the journal,
+  re-enqueues the job, re-simulates only the lost unit (unit 0 is a
+  cache hit), and serves a report CSV byte-identical to an
+  uninterrupted serial run.
+* **SIGTERM drain** — a server with a finished job drains cleanly on
+  SIGTERM: readyz flips to 503 before the socket closes, the exit code
+  is 0, and the server journal carries a clean stop marker.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.config.presets import get_preset
+from repro.core.report import write_sweep_report
+from repro.run.sweep import Axis, SweepRunner, SweepSpec
+from repro.store import read_json_lines
+from repro.topology.models import toy_gemm
+
+pytestmark = pytest.mark.slow
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+_PAYLOAD = {
+    "name": "recovery",
+    "preset": "scale_sim_v2_default",
+    "model": "toy_gemm",
+    "axes": {"arch.dataflow": ["os", "ws"]},
+}
+
+
+def _server_env(fault_plan: list[dict] | None = None) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(_SRC))
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = json.dumps(fault_plan)
+    return env
+
+
+def _spawn_server(data_dir: Path, env: dict, *extra: str) -> tuple[subprocess.Popen, str]:
+    """Start a server subprocess on an ephemeral port; returns (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.run.cli",
+            "serve",
+            "--data-dir",
+            str(data_dir),
+            "--port",
+            "0",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on http://"), line
+    return proc, line.removeprefix("serving on ")
+
+
+def _http(method: str, url: str, payload: dict | None = None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _wait_for(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def _job_status(url: str, job_id: str) -> dict:
+    status, body = _http("GET", f"{url}/jobs/{job_id}")
+    assert status == 200, body
+    return json.loads(body)
+
+
+@pytest.mark.timeout(240)
+def test_sigkilled_server_recovers_to_byte_identical_report(tmp_path):
+    reference = write_sweep_report(
+        SweepRunner().run(
+            SweepSpec(
+                base=get_preset("scale_sim_v2_default"),
+                axes=[Axis("arch.dataflow", ("os", "ws"))],
+                topologies=[toy_gemm()],
+                name="recovery",
+            )
+        ),
+        tmp_path / "reference.csv",
+    )
+
+    data_dir = tmp_path / "data"
+    # Server 1: unit 0 completes and lands in the on-disk cache; unit 1
+    # wedges for longer than the whole test is allowed to take.
+    doomed, url = _spawn_server(
+        data_dir,
+        _server_env([{"kind": "stall", "unit": 1, "attempt": 1, "seconds": 600}]),
+    )
+    survivor = None
+    try:
+        status, body = _http("POST", f"{url}/jobs", _PAYLOAD)
+        assert status == 202, body
+        job_id = json.loads(body)["id"]
+        _wait_for(
+            lambda: _job_status(url, job_id)["progress"]["units_done"] == 1,
+            timeout=120.0,
+            message="unit 0 to finish before the stall",
+        )
+        os.kill(doomed.pid, signal.SIGKILL)
+        doomed.wait(timeout=30.0)
+
+        # Server 2, same data dir, faults disarmed: replay + re-enqueue.
+        survivor, url2 = _spawn_server(data_dir, _server_env())
+        _wait_for(
+            lambda: _job_status(url2, job_id)["state"] == "done",
+            timeout=120.0,
+            message="recovered job to finish",
+        )
+        final = _job_status(url2, job_id)
+        assert final["recovered"] is True
+        assert final["rows"] == 2
+
+        status, report = _http("GET", f"{url2}/jobs/{job_id}/report.csv")
+        assert status == 200
+        assert report == reference.read_bytes()
+
+        # Only the lost unit was re-simulated: unit 0 came from the cache.
+        status, body = _http("GET", f"{url2}/healthz")
+        health = json.loads(body)
+        assert health["result_cache"]["hits"] >= 1
+
+        events = [
+            event["event"]
+            for event in read_json_lines(
+                data_dir / "jobs" / job_id / "journal.jsonl"
+            )
+        ]
+        assert "recovered" in events
+        assert events.count("started") == 2
+        assert events[-1] == "done"
+    finally:
+        for proc in (doomed, survivor):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+
+
+@pytest.mark.timeout(120)
+def test_sigterm_drains_cleanly(tmp_path):
+    data_dir = tmp_path / "data"
+    proc, url = _spawn_server(data_dir, _server_env(), "--drain-timeout", "20")
+    try:
+        status, body = _http("POST", f"{url}/jobs", _PAYLOAD)
+        assert status == 202, body
+        job_id = json.loads(body)["id"]
+        _wait_for(
+            lambda: _job_status(url, job_id)["state"] == "done",
+            timeout=90.0,
+            message="job to finish before the drain",
+        )
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60.0) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)
+
+    events = read_json_lines(data_dir / "server.jsonl")
+    stops = [event for event in events if event["event"] == "server_stopped"]
+    assert len(stops) == 1
+    assert stops[0]["clean"] is True
+    assert stops[0]["interrupted"] == 0
